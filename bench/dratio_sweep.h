@@ -1,0 +1,42 @@
+// dratio_sweep.h — shared driver for Figures 6/7/9/10: performance of CALU
+// static / dynamic / static(number% dynamic) while varying the percentage
+// of dynamically scheduled work.
+#pragma once
+
+#include "bench/bench_common.h"
+
+namespace calu::bench {
+
+inline void dratio_sweep(const char* fig, layout::Layout lay, int threads,
+                         const std::vector<int>& ns,
+                         const char* paper_shape) {
+  print_banner(fig, "CALU static/dynamic scheduling, varying dynamic %",
+               paper_shape);
+  std::printf("# layout=%s threads=%d b per n: default_b(n)\n",
+              layout::layout_name(lay), threads);
+  std::printf("%-8s %-10s %-12s %-10s %-12s\n", "n", "schedule", "dynamic%",
+              "Gflop/s", "seconds");
+  sched::ThreadTeam team(threads, true);
+  const double dratios[] = {0.0, 0.10, 0.20, 0.30, 0.50, 0.75, 1.0};
+  for (int n : ns) {
+    layout::Matrix a0 = layout::Matrix::random(n, n, 42);
+    for (double d : dratios) {
+      core::Options opt;
+      opt.b = default_b(n);
+      opt.layout = lay;
+      opt.dratio = d;
+      opt.schedule = d == 0.0   ? core::Schedule::Static
+                     : d == 1.0 ? core::Schedule::Dynamic
+                                : core::Schedule::Hybrid;
+      Timing t = time_calu(a0, opt, team);
+      const char* name = d == 0.0   ? "static"
+                         : d == 1.0 ? "dynamic"
+                                    : "hybrid";
+      std::printf("%-8d %-10s %-12.0f %-10.2f %-12.4f\n", n, name, d * 100,
+                  t.gflops, t.seconds);
+    }
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace calu::bench

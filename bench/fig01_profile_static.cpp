@@ -1,0 +1,13 @@
+// Figure 1: profile of CALU using static scheduling on 16 cores — the
+// motivating figure: pockets of idle time (white gaps) even in a statically
+// optimized code.
+#include "bench/profile.h"
+
+int main() {
+  using namespace calu::bench;
+  profile_run("Figure 1", calu::core::Schedule::Static, 0.0,
+              calu::layout::Layout::TwoLevelBlock, "fig01_profile_static.svg",
+              "unpredictable pockets of thread idle time scattered through "
+              "the run; idle fraction visibly nonzero");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 7: CALU with static/dynamic scheduling on the 48-core AMD Opteron
+// (NUMA) machine; block cyclic layout, size sweep, dynamic % 10..75.
+#include "bench/dratio_sweep.h"
+
+int main() {
+  using namespace calu::bench;
+  dratio_sweep("Figure 7", calu::layout::Layout::BlockCyclic,
+               numa_threads(), sizes({1024, 2048, 4096}, {2000, 5000, 10000}),
+               "best performance from static + small dynamic fraction "
+               "(10-20%); fully dynamic degrades on the NUMA class");
+  return 0;
+}

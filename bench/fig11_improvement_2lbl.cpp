@@ -1,0 +1,12 @@
+// Figure 11: percentage improvement of CALU static(10%/20% dynamic) over
+// static and dynamic with the two-level block layout (24 / 48 cores).
+#include "bench/improvement.h"
+
+int main() {
+  using namespace calu::bench;
+  improvement_sweep("Figure 11", calu::layout::Layout::TwoLevelBlock,
+                    sizes({1024, 2048, 4096}, {4000, 10000}),
+                    "hybrid(10%) up to +5.9% vs static and +64.9% vs "
+                    "dynamic on 48 cores; +10%/+16% on 24 cores");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 14: CALU dynamic with column-major layout — 90% of the threads
+// become idle after only ~60% of the total factorization time (vs 80-90%
+// for the other variants).
+#include "bench/profile.h"
+
+int main() {
+  using namespace calu::bench;
+  profile_run("Figure 14", calu::core::Schedule::Dynamic, 1.0,
+              calu::layout::Layout::ColumnMajor,
+              "fig14_profile_dynamic_cm.svg",
+              "90% of threads idle after ~60% of total time — late-stage "
+              "starvation of the fully dynamic CM variant");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// improvement.h — shared driver for Figures 8/11: percentage improvement
+// of CALU static(10%/20% dynamic) over fully static and fully dynamic
+// CALU, on half and all of the machine's cores.
+#pragma once
+
+#include "bench/bench_common.h"
+
+namespace calu::bench {
+
+inline void improvement_sweep(const char* fig, layout::Layout lay,
+                              const std::vector<int>& ns,
+                              const char* paper_shape) {
+  print_banner(fig, "improvement of hybrid(10%/20%) over static & dynamic",
+               paper_shape);
+  std::printf("# layout=%s\n", layout::layout_name(lay));
+  std::printf("%-8s %-8s %-9s %-13s %-13s\n", "cores", "n", "hybrid%",
+              "vs-static%", "vs-dynamic%");
+  const int all = numa_threads();
+  for (int threads : {std::max(1, all / 2), all}) {
+    sched::ThreadTeam team(threads, true);
+    for (int n : ns) {
+      layout::Matrix a0 = layout::Matrix::random(n, n, 42);
+      core::Options opt;
+      opt.b = default_b(n);
+      opt.layout = lay;
+      opt.schedule = core::Schedule::Static;
+      const Timing ts = time_calu(a0, opt, team);
+      opt.schedule = core::Schedule::Dynamic;
+      const Timing td = time_calu(a0, opt, team);
+      for (double d : {0.10, 0.20}) {
+        opt.schedule = core::Schedule::Hybrid;
+        opt.dratio = d;
+        const Timing th = time_calu(a0, opt, team);
+        std::printf("%-8d %-8d %-9.0f %-13.1f %-13.1f\n", threads, n, d * 100,
+                    (ts.seconds / th.seconds - 1.0) * 100.0,
+                    (td.seconds / th.seconds - 1.0) * 100.0);
+      }
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace calu::bench

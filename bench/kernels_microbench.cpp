@@ -1,0 +1,117 @@
+// kernels_microbench.cpp — google-benchmark microbenchmarks of the kernel
+// substrate: gemm, trsm, GEPP variants, TSLU.  These support every figure:
+// all schedulers share this kernel layer, so relative comparisons between
+// schedules are kernel-independent.
+#include <benchmark/benchmark.h>
+
+#include "src/calu.h"
+
+namespace {
+
+using namespace calu;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = layout::Matrix::random(n, n, 1);
+  auto b = layout::Matrix::random(n, n, 2);
+  auto c = layout::Matrix::random(n, n, 3);
+  for (auto _ : state) {
+    blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(), n,
+               b.data(), n, 1.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GemmTileUpdate(benchmark::State& state) {
+  // The S-task shape: (g*b x b) -= (g*b x b) * (b x b), g = group factor.
+  const int b = 128;
+  const int g = static_cast<int>(state.range(0));
+  auto l = layout::Matrix::random(g * b, b, 1);
+  auto u = layout::Matrix::random(b, b, 2);
+  auto c = layout::Matrix::random(g * b, b, 3);
+  for (auto _ : state) {
+    blas::gemm(blas::Trans::No, blas::Trans::No, g * b, b, b, -1.0, l.data(),
+               g * b, u.data(), b, 1.0, c.data(), g * b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      2.0 * g * b * b * b * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmTileUpdate)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_TrsmLowerLeft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto t = layout::Matrix::diag_dominant(n, 1);
+  auto b = layout::Matrix::random(n, n, 2);
+  for (auto _ : state) {
+    auto x = b;
+    blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+               blas::Diag::Unit, n, n, 1.0, t.data(), n, x.data(), n);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_TrsmLowerLeft)->Arg(128)->Arg(256);
+
+void BM_Getf2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a0 = layout::Matrix::random(n, n, 1);
+  std::vector<int> ipiv(n);
+  for (auto _ : state) {
+    auto a = a0;
+    blas::getf2(n, n, a.data(), n, ipiv.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Getf2)->Arg(64)->Arg(128);
+
+void BM_GetrfRecursive(benchmark::State& state) {
+  // Panel shape: tall and skinny, the TSLU reduction operator.
+  const int m = static_cast<int>(state.range(0));
+  const int n = 128;
+  auto a0 = layout::Matrix::random(m, n, 1);
+  std::vector<int> ipiv(n);
+  for (auto _ : state) {
+    auto a = a0;
+    blas::getrf_recursive(m, n, a.data(), m, ipiv.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_GetrfRecursive)->Arg(512)->Arg(2048);
+
+void BM_TsluPanel(benchmark::State& state) {
+  // Full tournament over `chunks` leaves on a tall panel.
+  const int m = 2048, n = 128;
+  const int chunks = static_cast<int>(state.range(0));
+  auto a0 = layout::Matrix::random(m, n, 1);
+  for (auto _ : state) {
+    auto a = a0;
+    auto swaps = core::tslu_factor(a, chunks);
+    benchmark::DoNotOptimize(swaps.data());
+  }
+}
+BENCHMARK(BM_TsluPanel)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_DequeueOverhead(benchmark::State& state) {
+  // The cost the paper worries about: concurrent pops from one shared
+  // queue at increasing thread counts.
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sched::ThreadTeam team(threads, false);
+    sched::TaskGraph g;
+    for (int i = 0; i < 20000; ++i) g.add_task(sched::Task{});
+    g.finalize();
+    sched::run_owner_queues(team, g, [](int, int) {});
+  }
+  state.counters["tasks/s"] = benchmark::Counter(
+      20000.0 * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DequeueOverhead)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

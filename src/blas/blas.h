@@ -1,0 +1,99 @@
+// blas.h — dense double-precision kernel layer (column-major, leading dim).
+//
+// This is the kernel substrate of the reproduction: the paper runs on top of
+// MKL/GotoBLAS; in this environment we implement the subset dense LU needs
+// ourselves.  All matrices are column-major with an explicit leading
+// dimension `ld >= number of rows`, exactly like the BLAS/LAPACK convention,
+// so the tile engine can pass views into any of the three storage layouts.
+//
+// Pivot convention: `ipiv[i] = r` means "row i was swapped with row r"
+// (0-based, both indices relative to the first row of the factored panel),
+// i.e. the LAPACK convention shifted to 0-based indexing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace calu::blas {
+
+enum class Trans : std::uint8_t { No, Yes };
+enum class Side : std::uint8_t { Left, Right };
+enum class UpLo : std::uint8_t { Lower, Upper };
+enum class Diag : std::uint8_t { Unit, NonUnit };
+
+/// C := alpha*op(A)*op(B) + beta*C.  op(A) is m x k, op(B) is k x n.
+/// Blocked with a register micro-kernel; falls back to a naive loop for
+/// tiny problems.  Supports No/No, No/Yes and Yes/No transpose pairs
+/// (all the factorization needs).
+void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc);
+
+/// Triangular solve with multiple right-hand sides:
+///   Side::Left :  B := alpha * op(T)^{-1} * B   (T is m x m)
+///   Side::Right:  B := alpha * B * op(T)^{-1}   (T is n x n)
+/// B is m x n.  Blocked: the bulk of the work is delegated to gemm.
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
+          double alpha, const double* t, int ldt, double* b, int ldb);
+
+/// Apply the swap sequence ipiv[k1..k2) to rows of the m x n matrix A:
+/// for i = k1..k2-1 (forward) or k2-1..k1 (backward): swap rows i and
+/// ipiv[i].  Matches LAPACK dlaswp with incx = +/-1.
+void laswp(int n, double* a, int lda, int k1, int k2, const int* ipiv,
+           bool forward = true);
+
+/// Swap rows r1 and r2 across n columns of A.
+void swap_rows(int n, double* a, int lda, int r1, int r2);
+
+/// Unblocked Gaussian elimination with partial pivoting of the m x n matrix.
+/// On exit A holds L (unit diagonal implicit) and U.  ipiv must have
+/// room for min(m,n) entries.  Returns the index (1-based, LAPACK style) of
+/// the first exactly-zero pivot, or 0 on success; the factorization is
+/// completed either way (zero pivots leave zero columns in L).
+int getf2(int m, int n, double* a, int lda, int* ipiv);
+
+/// Toledo's recursive LU with partial pivoting — the sequential GEPP
+/// operator the paper uses inside TSLU reductions (reference [23]).
+/// Same contract as getf2; `threshold` is the column count below which
+/// the recursion bottoms out into getf2.
+int getrf_recursive(int m, int n, double* a, int lda, int* ipiv,
+                    int threshold = 8);
+
+/// LU factorization *without* pivoting (recursive, gemm-rich) — the second
+/// step of TSLU: the tournament already permuted good pivots into place.
+/// Returns the index (1-based) of the first zero pivot, or 0.
+int getrf_nopiv(int m, int n, double* a, int lda);
+
+/// Symmetric rank-k update, lower triangle only (the Cholesky update):
+///   C := alpha * A * A^T + beta * C,  C is n x n (lower), A is n x k.
+/// Only the lower triangle of C is referenced/written.
+void syrk_lower(int n, int k, double alpha, const double* a, int lda,
+                double beta, double* c, int ldc);
+
+/// Unblocked Cholesky factorization (lower) of the SPD matrix A; on exit
+/// the lower triangle holds L.  Returns the index (1-based) of the first
+/// non-positive pivot, or 0.
+int potf2(int n, double* a, int lda);
+
+/// Recursive (gemm/syrk-rich) Cholesky, same contract as potf2.
+int potrf_recursive(int n, double* a, int lda, int threshold = 32);
+
+/// Matrix norms of the m x n matrix A.
+double norm_inf(int m, int n, const double* a, int lda);  // max row sum
+double norm_one(int m, int n, const double* a, int lda);  // max col sum
+double norm_max(int m, int n, const double* a, int lda);  // max |a_ij|
+double norm_fro(int m, int n, const double* a, int lda);
+
+/// ||P*A0 - L*U||_inf / (||A0||_inf * n * eps): the normalized backward
+/// error of an LU factorization stored LAPACK-style in `lu` with swap
+/// sequence `ipiv` (length npiv, convention above).  A0 is the original
+/// matrix.  O(n^3) reconstruction — intended for tests and examples.
+double lu_residual(int m, int n, const double* a0, int lda0, const double* lu,
+                   int ldlu, const int* ipiv, int npiv);
+
+/// Growth factor g = max_ij |U_ij| / max_ij |A0_ij| of a factorization —
+/// the stability statistic used to compare tournament pivoting with GEPP.
+double growth_factor(int m, int n, const double* a0, int lda0,
+                     const double* lu, int ldlu);
+
+}  // namespace calu::blas

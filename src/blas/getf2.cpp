@@ -1,0 +1,85 @@
+// getf2.cpp — unblocked Gaussian elimination with partial pivoting.
+// The base case of the recursive GEPP operator used inside TSLU reductions
+// and the panel kernel of the getrf_pp (MKL stand-in) baseline.
+#include "src/blas/blas.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace calu::blas {
+
+int getrf_nopiv(int m, int n, double* a, int lda) {
+  const int kmin = std::min(m, n);
+  if (kmin == 0) return 0;
+  if (kmin <= 16) {
+    // Unblocked elimination, no pivot search.
+    int info = 0;
+    for (int j = 0; j < kmin; ++j) {
+      double* col = a + static_cast<std::size_t>(j) * lda;
+      if (col[j] == 0.0) {
+        if (info == 0) info = j + 1;
+        continue;
+      }
+      const double inv = 1.0 / col[j];
+      for (int i = j + 1; i < m; ++i) col[i] *= inv;
+      for (int jj = j + 1; jj < n; ++jj) {
+        double* cjj = a + static_cast<std::size_t>(jj) * lda;
+        const double ujj = cjj[j];
+        if (ujj == 0.0) continue;
+        for (int i = j + 1; i < m; ++i) cjj[i] -= col[i] * ujj;
+      }
+    }
+    return info;
+  }
+  const int n1 = kmin / 2;
+  const int n2 = n - n1;
+  double* a12 = a + static_cast<std::size_t>(n1) * lda;
+  int info = getrf_nopiv(m, n1, a, lda);
+  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, n1, n2, 1.0, a, lda,
+       a12, lda);
+  if (m > n1) {
+    gemm(Trans::No, Trans::No, m - n1, n2, n1, -1.0, a + n1, lda, a12, lda,
+         1.0, a12 + n1, lda);
+    const int info2 = getrf_nopiv(m - n1, n2, a12 + n1, lda);
+    if (info == 0 && info2 != 0) info = info2 + n1;
+  }
+  return info;
+}
+
+int getf2(int m, int n, double* a, int lda, int* ipiv) {
+  assert(m >= 0 && n >= 0 && lda >= std::max(1, m));
+  const int kmin = std::min(m, n);
+  int info = 0;
+  for (int j = 0; j < kmin; ++j) {
+    double* col = a + static_cast<std::size_t>(j) * lda;
+    // Pivot search: largest magnitude at/below the diagonal.
+    int piv = j;
+    double best = std::fabs(col[j]);
+    for (int i = j + 1; i < m; ++i) {
+      const double v = std::fabs(col[i]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    ipiv[j] = piv;
+    if (best == 0.0) {
+      if (info == 0) info = j + 1;
+      continue;  // zero column below diagonal: L entries stay 0
+    }
+    if (piv != j) swap_rows(n, a, lda, j, piv);
+    const double inv = 1.0 / col[j];
+    for (int i = j + 1; i < m; ++i) col[i] *= inv;
+    // Rank-1 update of the trailing submatrix.
+    for (int jj = j + 1; jj < n; ++jj) {
+      double* cjj = a + static_cast<std::size_t>(jj) * lda;
+      const double ujj = cjj[j];
+      if (ujj == 0.0) continue;
+      for (int i = j + 1; i < m; ++i) cjj[i] -= col[i] * ujj;
+    }
+  }
+  return info;
+}
+
+}  // namespace calu::blas

@@ -1,0 +1,32 @@
+// laswp.cpp — row interchange application (LAPACK dlaswp semantics,
+// 0-based).  Used for the paper's "right swaps" inside the factorization and
+// the deferred left-swap pass (Algorithm 1, line 43).
+#include "src/blas/blas.h"
+
+#include <cassert>
+#include <utility>
+
+namespace calu::blas {
+
+void swap_rows(int n, double* a, int lda, int r1, int r2) {
+  if (r1 == r2) return;
+  double* p1 = a + r1;
+  double* p2 = a + r2;
+  for (int j = 0; j < n; ++j) {
+    std::swap(*p1, *p2);
+    p1 += lda;
+    p2 += lda;
+  }
+}
+
+void laswp(int n, double* a, int lda, int k1, int k2, const int* ipiv,
+           bool forward) {
+  assert(k1 >= 0 && k2 >= k1);
+  if (forward) {
+    for (int i = k1; i < k2; ++i) swap_rows(n, a, lda, i, ipiv[i]);
+  } else {
+    for (int i = k2 - 1; i >= k1; --i) swap_rows(n, a, lda, i, ipiv[i]);
+  }
+}
+
+}  // namespace calu::blas

@@ -1,0 +1,98 @@
+// norms.cpp — matrix norms and LU verification helpers.
+#include "src/blas/blas.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace calu::blas {
+
+double norm_inf(int m, int n, const double* a, int lda) {
+  std::vector<double> rowsum(static_cast<std::size_t>(std::max(m, 1)), 0.0);
+  for (int j = 0; j < n; ++j) {
+    const double* col = a + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i < m; ++i) rowsum[i] += std::fabs(col[i]);
+  }
+  double mx = 0.0;
+  for (int i = 0; i < m; ++i) mx = std::max(mx, rowsum[i]);
+  return mx;
+}
+
+double norm_one(int m, int n, const double* a, int lda) {
+  double mx = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double* col = a + static_cast<std::size_t>(j) * lda;
+    double s = 0.0;
+    for (int i = 0; i < m; ++i) s += std::fabs(col[i]);
+    mx = std::max(mx, s);
+  }
+  return mx;
+}
+
+double norm_max(int m, int n, const double* a, int lda) {
+  double mx = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double* col = a + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i < m; ++i) mx = std::max(mx, std::fabs(col[i]));
+  }
+  return mx;
+}
+
+double norm_fro(int m, int n, const double* a, int lda) {
+  double s = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double* col = a + static_cast<std::size_t>(j) * lda;
+    for (int i = 0; i < m; ++i) s += col[i] * col[i];
+  }
+  return std::sqrt(s);
+}
+
+double lu_residual(int m, int n, const double* a0, int lda0, const double* lu,
+                   int ldlu, const int* ipiv, int npiv) {
+  const int kmin = std::min(m, n);
+  // R := P * A0 (apply the recorded swap sequence to a copy of A0).
+  std::vector<double> r(static_cast<std::size_t>(m) * n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      r[i + static_cast<std::size_t>(j) * m] =
+          a0[i + static_cast<std::size_t>(j) * lda0];
+  laswp(n, r.data(), m, 0, npiv, ipiv);
+
+  // R -= L * U using the packed factors: L is m x kmin unit-lower,
+  // U is kmin x n upper.
+  std::vector<double> l(static_cast<std::size_t>(m) * kmin, 0.0);
+  std::vector<double> u(static_cast<std::size_t>(kmin) * n, 0.0);
+  for (int j = 0; j < kmin; ++j) {
+    l[j + static_cast<std::size_t>(j) * m] = 1.0;
+    for (int i = j + 1; i < m; ++i)
+      l[i + static_cast<std::size_t>(j) * m] =
+          lu[i + static_cast<std::size_t>(j) * ldlu];
+  }
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= std::min(j, kmin - 1); ++i)
+      u[i + static_cast<std::size_t>(j) * kmin] =
+          lu[i + static_cast<std::size_t>(j) * ldlu];
+  gemm(Trans::No, Trans::No, m, n, kmin, -1.0, l.data(), m, u.data(), kmin,
+       1.0, r.data(), m);
+
+  const double na = norm_inf(m, n, a0, lda0);
+  const double nr = norm_inf(m, n, r.data(), m);
+  const double eps = std::numeric_limits<double>::epsilon();
+  if (na == 0.0) return nr == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return nr / (na * std::max(m, n) * eps);
+}
+
+double growth_factor(int m, int n, const double* a0, int lda0,
+                     const double* lu, int ldlu) {
+  const int kmin = std::min(m, n);
+  double umax = 0.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= std::min(j, kmin - 1); ++i)
+      umax = std::max(umax, std::fabs(lu[i + static_cast<std::size_t>(j) * ldlu]));
+  const double amax = norm_max(m, n, a0, lda0);
+  return amax == 0.0 ? 0.0 : umax / amax;
+}
+
+}  // namespace calu::blas

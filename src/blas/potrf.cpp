@@ -1,0 +1,80 @@
+// potrf.cpp — Cholesky kernels (lower variant) for the Section-9
+// extension: the same hybrid static/dynamic scheduling applied to the
+// Cholesky factorization.
+#include <cmath>
+
+#include "src/blas/blas.h"
+
+namespace calu::blas {
+
+void syrk_lower(int n, int k, double alpha, const double* a, int lda,
+                double beta, double* c, int ldc) {
+  // Column panels: the strictly-below-diagonal part of each panel is a
+  // plain GEMM (N,T); the diagonal block is done directly so the upper
+  // triangle is never touched.
+  constexpr int kNB = 64;
+  for (int j = 0; j < n; j += kNB) {
+    const int jb = j + kNB < n ? kNB : n - j;
+    // Diagonal block: C(j:j+jb, j:j+jb) lower.
+    for (int jj = j; jj < j + jb; ++jj) {
+      double* cj = c + static_cast<std::size_t>(jj) * ldc;
+      if (beta == 0.0)
+        for (int i = jj; i < j + jb; ++i) cj[i] = 0.0;
+      else if (beta != 1.0)
+        for (int i = jj; i < j + jb; ++i) cj[i] *= beta;
+      for (int p = 0; p < k; ++p) {
+        const double ajp =
+            alpha * a[jj + static_cast<std::size_t>(p) * lda];
+        if (ajp == 0.0) continue;
+        const double* ap = a + static_cast<std::size_t>(p) * lda;
+        for (int i = jj; i < j + jb; ++i) cj[i] += ap[i] * ajp;
+      }
+    }
+    // Rectangle below the diagonal block.
+    if (j + jb < n)
+      gemm(Trans::No, Trans::Yes, n - j - jb, jb, k, alpha, a + j + jb, lda,
+           a + j, lda, beta, c + (j + jb) + static_cast<std::size_t>(j) * ldc,
+           ldc);
+  }
+}
+
+int potf2(int n, double* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = a + static_cast<std::size_t>(j) * lda;
+    double d = cj[j];
+    for (int p = 0; p < j; ++p) {
+      const double v = a[j + static_cast<std::size_t>(p) * lda];
+      d -= v * v;
+    }
+    if (d <= 0.0) return j + 1;
+    d = std::sqrt(d);
+    cj[j] = d;
+    const double inv = 1.0 / d;
+    for (int i = j + 1; i < n; ++i) {
+      double s = cj[i];
+      for (int p = 0; p < j; ++p)
+        s -= a[i + static_cast<std::size_t>(p) * lda] *
+             a[j + static_cast<std::size_t>(p) * lda];
+      cj[i] = s * inv;
+    }
+  }
+  return 0;
+}
+
+int potrf_recursive(int n, double* a, int lda, int threshold) {
+  if (n <= threshold) return potf2(n, a, lda);
+  const int n1 = n / 2;
+  const int n2 = n - n1;
+  double* a21 = a + n1;
+  double* a22 = a + n1 + static_cast<std::size_t>(n1) * lda;
+  int info = potrf_recursive(n1, a, lda, threshold);
+  if (info != 0) return info;
+  // L21 := A21 * L11^{-T}; A22 -= L21 * L21^T.
+  trsm(Side::Right, UpLo::Lower, Trans::Yes, Diag::NonUnit, n2, n1, 1.0, a,
+       lda, a21, lda);
+  syrk_lower(n2, n1, -1.0, a21, lda, 1.0, a22, lda);
+  info = potrf_recursive(n2, a22, lda, threshold);
+  return info == 0 ? 0 : info + n1;
+}
+
+}  // namespace calu::blas

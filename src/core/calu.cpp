@@ -1,0 +1,257 @@
+// calu.cpp — execution of the CALU plan: task bodies, the schedule
+// dispatch, and the user-facing getrf drivers.
+#include "src/core/calu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+#include "src/blas/blas.h"
+#include "src/core/calu_dag.h"
+#include "src/core/tslu.h"
+#include "src/model/lu_cost.h"
+
+namespace calu::core {
+namespace {
+
+using layout::BlockRef;
+
+/// Mutable per-run state: tournament candidates, per-panel swap lists.
+/// Distinct tasks touch distinct slots, so no locking is needed beyond the
+/// engine's dependency ordering.
+class Runtime {
+ public:
+  Runtime(layout::PackedMatrix& a, const CaluPlan& plan)
+      : a_(a), plan_(plan) {
+    cand_.resize(plan.npanels);
+    for (int k = 0; k < plan.npanels; ++k)
+      cand_[k].resize(plan.tnodes[k].size());
+    swaps_.resize(plan.npanels);
+  }
+
+  void exec(int id, int tid);
+
+  /// Deferred left swaps (Algorithm 1 line 43), parallel over tile columns.
+  void apply_left_swaps(sched::ThreadTeam& team);
+
+  std::vector<int> take_ipiv();
+
+ private:
+  void exec_p(const sched::Task& t);
+  void exec_l(const sched::Task& t);
+  void exec_u(const sched::Task& t);
+  void exec_s(const sched::Task& t);
+
+  layout::PackedMatrix& a_;
+  const CaluPlan& plan_;
+  std::vector<std::vector<Candidates>> cand_;
+  std::vector<std::vector<int>> swaps_;
+};
+
+void Runtime::exec(int id, int tid) {
+  (void)tid;
+  const sched::Task& t = plan_.graph.task(id);
+  switch (t.kind) {
+    case trace::Kind::P: exec_p(t); break;
+    case trace::Kind::L: exec_l(t); break;
+    case trace::Kind::U: exec_u(t); break;
+    case trace::Kind::S: exec_s(t); break;
+    default: assert(false);
+  }
+}
+
+void Runtime::exec_p(const sched::Task& t) {
+  const int k = t.step;
+  const layout::Tiling& tl = plan_.tiling;
+  if (t.aux >= 0) {
+    const CaluPlan::TNode& node = plan_.tnodes[k][t.aux];
+    if (node.child_a < 0) {
+      // Leaf: GEPP over this thread row's tiles of the panel.
+      const int pr = plan_.grid.pr;
+      std::vector<int> tiles;
+      for (int I = k + (((node.thread_row - k) % pr + pr) % pr);
+           I < tl.mb(); I += pr)
+        tiles.push_back(I);
+      cand_[k][t.aux] = tslu_leaf(a_, k, tiles);
+    } else {
+      cand_[k][t.aux] =
+          tslu_merge(cand_[k][node.child_a], cand_[k][node.child_b]);
+      // The children are dead now; release their buffers.
+      cand_[k][node.child_a] = Candidates{};
+      cand_[k][node.child_b] = Candidates{};
+    }
+    return;
+  }
+  // Finalize: swap the winners into place within the panel column and
+  // factor the top tile without pivoting (TSLU second step).
+  const Candidates& root = cand_[k][plan_.root_node[k]];
+  const int row0 = tl.row0(k);
+  swaps_[k] = build_swap_list(root.src, row0, root.count);
+  const int c0 = tl.col0(k);
+  const int c1 = c0 + tl.tile_cols(k);
+  for (std::size_t i = 0; i < swaps_[k].size(); ++i)
+    if (swaps_[k][i] != row0 + static_cast<int>(i))
+      a_.swap_rows_global(c0, c1, row0 + static_cast<int>(i), swaps_[k][i]);
+  BlockRef top = a_.block(k, k);
+  blas::getrf_nopiv(top.rows, top.cols, top.ptr, top.ld);
+  cand_[k][plan_.root_node[k]] = Candidates{};
+}
+
+void Runtime::exec_l(const sched::Task& t) {
+  // L(I,k) := A(I,k) * Ukk^{-1}.
+  BlockRef top = a_.block(t.step, t.step);
+  BlockRef d = a_.block(t.i, t.step);
+  const int kk = std::min(top.rows, top.cols);
+  blas::trsm(blas::Side::Right, blas::UpLo::Upper, blas::Trans::No,
+             blas::Diag::NonUnit, d.rows, kk, 1.0, top.ptr, top.ld, d.ptr,
+             d.ld);
+}
+
+void Runtime::exec_u(const sched::Task& t) {
+  // Right swap of column J by panel k's pivots, then U(k,J) := Lkk^{-1}
+  // A(k,J).
+  const int k = t.step, J = t.j;
+  const layout::Tiling& tl = plan_.tiling;
+  const int row0 = tl.row0(k);
+  const int c0 = tl.col0(J);
+  const int c1 = c0 + tl.tile_cols(J);
+  const std::vector<int>& sw = swaps_[k];
+  for (std::size_t i = 0; i < sw.size(); ++i)
+    if (sw[i] != row0 + static_cast<int>(i))
+      a_.swap_rows_global(c0, c1, row0 + static_cast<int>(i), sw[i]);
+  BlockRef top = a_.block(k, k);
+  BlockRef d = a_.block(k, J);
+  const int kk = std::min(top.rows, top.cols);
+  blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+             blas::Diag::Unit, kk, d.cols, 1.0, top.ptr, top.ld, d.ptr, d.ld);
+}
+
+void Runtime::exec_s(const sched::Task& t) {
+  // A(I..,J) -= L(I..,k) * U(k,J), over a group of t.aux owned tiles
+  // (one tile unless the static BCL grouping is active).
+  const int k = t.step, I = t.i, J = t.j, cnt = t.aux;
+  BlockRef top = a_.block(k, k);
+  const int kk = std::min(top.rows, top.cols);
+  BlockRef u = a_.block(k, J);
+  BlockRef l = a_.column_segment(I, k, cnt);
+  BlockRef c = a_.column_segment(I, J, cnt);
+  blas::gemm(blas::Trans::No, blas::Trans::No, c.rows, c.cols, kk, -1.0,
+             l.ptr, l.ld, u.ptr, u.ld, 1.0, c.ptr, c.ld);
+}
+
+void Runtime::apply_left_swaps(sched::ThreadTeam& team) {
+  const layout::Tiling& tl = plan_.tiling;
+  const int npanels = plan_.npanels;
+  team.parallel_for(npanels, [&](int J) {
+    const int c0 = tl.col0(J);
+    const int c1 = c0 + tl.tile_cols(J);
+    for (int K = J + 1; K < npanels; ++K) {
+      const int row0 = tl.row0(K);
+      const std::vector<int>& sw = swaps_[K];
+      for (std::size_t i = 0; i < sw.size(); ++i)
+        if (sw[i] != row0 + static_cast<int>(i))
+          a_.swap_rows_global(c0, c1, row0 + static_cast<int>(i), sw[i]);
+    }
+  });
+}
+
+std::vector<int> Runtime::take_ipiv() {
+  std::vector<int> ipiv;
+  for (auto& sw : swaps_) ipiv.insert(ipiv.end(), sw.begin(), sw.end());
+  return ipiv;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::Static: return "static";
+    case Schedule::Dynamic: return "dynamic";
+    case Schedule::Hybrid: return "hybrid";
+    case Schedule::WorkStealing: return "work-stealing";
+  }
+  return "?";
+}
+
+int Options::resolved_threads() const {
+  return threads > 0 ? threads : sched::ThreadTeam::hardware_threads();
+}
+
+layout::Grid Options::resolved_grid() const {
+  if (pr > 0 && pc > 0) return layout::Grid{pr, pc};
+  return layout::Grid::best(resolved_threads());
+}
+
+double Options::resolved_dratio() const {
+  switch (schedule) {
+    case Schedule::Static: return 0.0;
+    case Schedule::Dynamic: return 1.0;
+    default: return std::clamp(dratio, 0.0, 1.0);
+  }
+}
+
+Factorization getrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::ThreadTeam* team) {
+  const layout::Tiling& tl = a.tiling();
+  assert(tl.b == opt.b);
+
+  Factorization f;
+  auto t0 = std::chrono::steady_clock::now();
+  CaluPlan plan = build_plan(tl, a.grid(), a.layout(), opt.resolved_dratio(),
+                             opt.group_factor);
+  f.stats.plan_seconds = seconds_since(t0);
+  f.stats.tasks = plan.graph.num_tasks();
+  f.stats.npanels = plan.npanels;
+  f.stats.nstatic_panels = plan.nstatic;
+
+  std::unique_ptr<sched::ThreadTeam> local_team;
+  if (team == nullptr) {
+    local_team = std::make_unique<sched::ThreadTeam>(opt.resolved_threads(),
+                                                     opt.pin_threads);
+    team = local_team.get();
+  }
+
+  Runtime rt(a, plan);
+  sched::RunHooks hooks;
+  hooks.recorder = opt.recorder;
+  hooks.locality_tags = opt.locality_tags;
+  std::unique_ptr<noise::Injector> injector;
+  if (opt.noise.enabled()) {
+    injector = std::make_unique<noise::Injector>(opt.noise, team->size());
+    hooks.injector = injector.get();
+  }
+
+  auto exec = [&rt](int id, int tid) { rt.exec(id, tid); };
+  t0 = std::chrono::steady_clock::now();
+  if (opt.schedule == Schedule::WorkStealing)
+    f.stats.engine = sched::run_work_stealing(*team, plan.graph, exec, hooks,
+                                              opt.ws_seed);
+  else
+    f.stats.engine = sched::run_owner_queues(*team, plan.graph, exec, hooks);
+  rt.apply_left_swaps(*team);
+  f.stats.factor_seconds = seconds_since(t0);
+  f.stats.gflops = model::gflops(model::lu_flops(tl.m, tl.n),
+                                 f.stats.factor_seconds);
+  if (injector) {
+    f.stats.noise_delta_max = injector->delta_max();
+    f.stats.noise_delta_avg = injector->delta_avg();
+  }
+  f.ipiv = rt.take_ipiv();
+  return f;
+}
+
+Factorization getrf(layout::Matrix& a, const Options& opt) {
+  layout::PackedMatrix p = layout::PackedMatrix::pack(
+      a, opt.layout, opt.b, opt.resolved_grid());
+  Factorization f = getrf(p, opt, nullptr);
+  p.unpack(a);
+  return f;
+}
+
+}  // namespace calu::core

@@ -1,0 +1,89 @@
+// calu.h — CALU with hybrid static/dynamic scheduling: the paper's core
+// contribution (Algorithms 1 and 2).
+//
+// One task dependency graph drives every schedule in the Table-1 design
+// space.  The first Nstatic = N*(1 - dratio) panels' tasks are owned by
+// threads through the 2-D block-cyclic distribution and served from
+// per-thread priority queues; tasks of the trailing panels go to a shared
+// global queue in DFS order.  Threads always prefer their static queue
+// (progress on the critical path, data locality) and fall back to the
+// dynamic queue when idle — Algorithm 1's dynamic_tasks().  Static and
+// dynamic scheduling are the dratio = 0 / 1 degenerate cases; a
+// work-stealing executor over the same graph is provided as the
+// related-work baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/layout/grid.h"
+#include "src/layout/matrix.h"
+#include "src/layout/packed.h"
+#include "src/noise/noise.h"
+#include "src/sched/engine.h"
+#include "src/sched/thread_team.h"
+#include "src/trace/trace.h"
+
+namespace calu::core {
+
+enum class Schedule {
+  Static,        // 100% static (dratio forced to 0)
+  Dynamic,       // 100% dynamic (dratio forced to 1)
+  Hybrid,        // static(dratio% dynamic) — the paper's contribution
+  WorkStealing,  // Cilk-style baseline over the same task graph (Section 8)
+};
+
+const char* schedule_name(Schedule s);
+
+struct Options {
+  int b = 100;                // tile size (the paper uses b = 100)
+  double dratio = 0.10;       // fraction of panels scheduled dynamically
+  Schedule schedule = Schedule::Hybrid;
+  layout::Layout layout = layout::Layout::BlockCyclic;
+  int threads = 0;            // 0 = all hardware threads
+  int pr = 0, pc = 0;         // thread grid; 0 = near-square auto
+  int group_factor = 3;       // k: group k owned tiles per GEMM (BCL static)
+  bool pin_threads = true;
+  /// Section-9 extension: locality-tagged dynamic queues (per-thread tag
+  /// buckets instead of one shared queue; DFS order kept within buckets).
+  bool locality_tags = false;
+  trace::Recorder* recorder = nullptr;  // optional timeline capture
+  noise::NoiseSpec noise{};             // optional transient-load injection
+  std::uint64_t ws_seed = 7;            // work-stealing victim RNG seed
+
+  int resolved_threads() const;
+  layout::Grid resolved_grid() const;
+  double resolved_dratio() const;
+};
+
+struct Stats {
+  double factor_seconds = 0.0;  // engine run + deferred left swaps
+  double plan_seconds = 0.0;    // task-graph construction
+  double gflops = 0.0;          // lu_flops / factor_seconds
+  sched::EngineStats engine;
+  int tasks = 0;
+  int npanels = 0;
+  int nstatic_panels = 0;
+  double noise_delta_max = 0.0;  // measured δmax/δavg when noise is on
+  double noise_delta_avg = 0.0;
+};
+
+struct Factorization {
+  /// Absolute-row swap sequence, LAPACK order: row i was swapped with row
+  /// ipiv[i], i ascending.  Length min(m, n).
+  std::vector<int> ipiv;
+  Stats stats;
+};
+
+/// Factor a packed matrix in place.  The PackedMatrix must have been packed
+/// with opt.b and opt.resolved_grid().  If `team` is null a team is created
+/// for the call.
+Factorization getrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::ThreadTeam* team = nullptr);
+
+/// Convenience: packs `a` into opt.layout, factors, and unpacks the [L\U]
+/// factors back into `a` (column-major, LAPACK-style).
+Factorization getrf(layout::Matrix& a, const Options& opt);
+
+}  // namespace calu::core

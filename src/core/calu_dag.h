@@ -1,0 +1,58 @@
+// calu_dag.h — construction of CALU's task dependency graph (Figure 3).
+//
+// Tasks, following the paper's notation (Section 2):
+//   P — panel preprocessing: TSLU tournament leaves, binary-tree merges,
+//       and a finalize step (swap application + unpivoted top-tile LU);
+//   L — L-factor tiles of the panel (trsm);
+//   U — right swap + U tile of the current block row (trsm);
+//   S — trailing-matrix update (gemm), grouped into k*b-tall segments in
+//       the static BCL region (Section 3's granularity optimization).
+//
+// Ownership encodes the schedule split: tasks operating on the first
+// Nstatic tile columns carry their block-cyclic owner; the rest are
+// dynamic.  Priorities encode DFS order (J, K, kind), which realizes both
+// Algorithm 2's left-to-right traversal and the static section's
+// look-ahead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/layout/grid.h"
+#include "src/layout/packed.h"
+#include "src/sched/dag.h"
+
+namespace calu::core {
+
+struct CaluPlan {
+  sched::TaskGraph graph;
+
+  /// Tournament node: leaf (children < 0, thread_row = leaf chunk id) or
+  /// merge (children are node indices within the same panel).
+  struct TNode {
+    int child_a = -1, child_b = -1;
+    int thread_row = -1;
+    int task = -1;  // task id in `graph`
+  };
+  std::vector<std::vector<TNode>> tnodes;  // per panel
+  std::vector<int> root_node;              // per panel: tournament root
+  std::vector<int> final_task;             // per panel: Pfinal task id
+
+  layout::Tiling tiling;
+  layout::Grid grid;
+  int npanels = 0;
+  int nstatic = 0;       // panels (tile columns) scheduled statically
+  int group_factor = 1;  // effective S-group size (1 = per tile)
+  bool grouped = false;
+};
+
+/// Build the plan.  `dratio` in [0, 1]; `group_factor` >= 1 activates
+/// grouped S tasks when the layout supports it (BCL).
+CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
+                    layout::Layout layout, double dratio, int group_factor);
+
+/// Graphviz rendering of the plan's task graph (Figure 3); intended for
+/// small tile counts.
+std::string plan_to_dot(const CaluPlan& plan);
+
+}  // namespace calu::core

@@ -1,0 +1,40 @@
+// cholesky.h — hybrid static/dynamic scheduled tiled Cholesky (lower).
+//
+// Section 9 of the paper: "the same techniques can be applied to other
+// dense factorizations as Cholesky, QR, rank revealing QR, LDLT ...  This
+// remains future work."  This module implements that extension for
+// Cholesky: the identical task-graph machinery (per-thread static queues
+// over the 2-D block-cyclic distribution + shared DFS-ordered dynamic
+// queue, split at Nstatic panels) drives the POTRF/TRSM/SYRK/GEMM tile
+// kernels.  Cholesky needs no pivoting, so its panel is cheap — the
+// hybrid's benefit shifts from hiding the panel to absorbing noise and
+// trailing-matrix imbalance, which the ablation bench measures.
+#pragma once
+
+#include "src/core/calu.h"
+#include "src/layout/matrix.h"
+#include "src/layout/packed.h"
+#include "src/sched/thread_team.h"
+
+namespace calu::core {
+
+/// Factor the SPD matrix (lower triangle referenced) in place: A = L*L^T.
+/// Reuses calu::core::Options (b, schedule, dratio, layout, threads,
+/// noise, recorder); pivot-related fields are ignored and ipiv is empty.
+Factorization potrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::ThreadTeam* team = nullptr);
+
+/// Convenience on a column-major matrix: packs, factors, unpacks.
+Factorization potrf(layout::Matrix& a, const Options& opt);
+
+/// Solve A x = b in place given the Cholesky factor L (column-major,
+/// lower): b := L^{-T} L^{-1} b.
+void potrs(const layout::Matrix& l, layout::Matrix& b);
+
+/// ||A - L*L^T||_inf / (||A||_inf * n * eps) — Cholesky backward error.
+double cholesky_residual(const layout::Matrix& a0, const layout::Matrix& l);
+
+/// A random SPD test matrix: R*R^T + n*I.
+layout::Matrix spd_matrix(int n, std::uint64_t seed);
+
+}  // namespace calu::core

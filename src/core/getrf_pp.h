@@ -1,0 +1,22 @@
+// getrf_pp.h — blocked Gaussian elimination with partial pivoting:
+// sequential panel factorization + fork-join parallel BLAS-3 update.
+//
+// This is the structure of multithreaded LAPACK/MKL dgetrf that the paper
+// compares against (Figures 16/17) and criticizes in Section 2: "the
+// multithreaded LAPACK performs the panel factorization sequentially, and
+// this leads to poor performance, even if the update is performed in
+// parallel".  It is the MKL stand-in of this reproduction.
+#pragma once
+
+#include "src/core/calu.h"
+#include "src/layout/matrix.h"
+#include "src/sched/thread_team.h"
+
+namespace calu::core {
+
+/// Factor the column-major matrix in place ([L\U], LAPACK-style).  `b` is
+/// the panel width; the trailing update is parallelized over `team`.
+/// Returns the absolute-row swap sequence and timing stats.
+Factorization getrf_pp(layout::Matrix& a, int b, sched::ThreadTeam& team);
+
+}  // namespace calu::core

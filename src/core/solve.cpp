@@ -1,0 +1,63 @@
+#include "src/core/solve.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/blas/blas.h"
+
+namespace calu::core {
+
+void getrs(const layout::Matrix& lu, std::span<const int> ipiv,
+           layout::Matrix& b) {
+  const int n = lu.cols();
+  assert(lu.rows() == n && b.rows() == n);
+  blas::laswp(b.cols(), b.data(), b.ld(), 0, static_cast<int>(ipiv.size()),
+              ipiv.data());
+  blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+             blas::Diag::Unit, n, b.cols(), 1.0, lu.data(), lu.ld(), b.data(),
+             b.ld());
+  blas::trsm(blas::Side::Left, blas::UpLo::Upper, blas::Trans::No,
+             blas::Diag::NonUnit, n, b.cols(), 1.0, lu.data(), lu.ld(),
+             b.data(), b.ld());
+}
+
+double solve_residual(const layout::Matrix& a, const layout::Matrix& x,
+                      const layout::Matrix& b) {
+  layout::Matrix r = b;
+  blas::gemm(blas::Trans::No, blas::Trans::No, a.rows(), x.cols(), a.cols(),
+             1.0, a.data(), a.ld(), x.data(), x.ld(), -1.0, r.data(), r.ld());
+  const double na = blas::norm_inf(a.rows(), a.cols(), a.data(), a.ld());
+  const double nx = blas::norm_inf(x.rows(), x.cols(), x.data(), x.ld());
+  const double nb = blas::norm_inf(b.rows(), b.cols(), b.data(), b.ld());
+  const double nr = blas::norm_inf(r.rows(), r.cols(), r.data(), r.ld());
+  const double denom = na * nx + nb;
+  return denom > 0.0 ? nr / denom : nr;
+}
+
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, int max_refine) {
+  assert(a.rows() == a.cols() && a.rows() == b.rows());
+  SolveResult res;
+  layout::Matrix lu = a;
+  res.factorization = getrf(lu, opt);
+  res.x = b;
+  getrs(lu, res.factorization.ipiv, res.x);
+  res.residual = solve_residual(a, res.x, b);
+
+  for (int it = 0; it < max_refine; ++it) {
+    if (res.residual < 1e-15) break;
+    // r = b - A x; solve A d = r; x += d.
+    layout::Matrix r = b;
+    blas::gemm(blas::Trans::No, blas::Trans::No, a.rows(), b.cols(), a.cols(),
+               -1.0, a.data(), a.ld(), res.x.data(), res.x.ld(), 1.0,
+               r.data(), r.ld());
+    getrs(lu, res.factorization.ipiv, r);
+    for (int j = 0; j < res.x.cols(); ++j)
+      for (int i = 0; i < res.x.rows(); ++i) res.x(i, j) += r(i, j);
+    ++res.refine_steps;
+    res.residual = solve_residual(a, res.x, b);
+  }
+  return res;
+}
+
+}  // namespace calu::core

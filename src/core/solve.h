@@ -1,0 +1,34 @@
+// solve.h — triangular solves and iterative refinement on top of the
+// factorizations, turning the library into a usable linear-system solver.
+#pragma once
+
+#include <span>
+
+#include "src/core/calu.h"
+#include "src/layout/matrix.h"
+
+namespace calu::core {
+
+/// Solve op(A) X = B in place given a LAPACK-style [L\U] factorization
+/// `lu` and absolute-row swap sequence `ipiv` (getrs semantics, NoTrans).
+void getrs(const layout::Matrix& lu, std::span<const int> ipiv,
+           layout::Matrix& b);
+
+/// Componentwise-normalized residual ||A x - b||_inf /
+/// (||A||_inf ||x||_inf + ||b||_inf) — the standard backward-error metric.
+double solve_residual(const layout::Matrix& a, const layout::Matrix& x,
+                      const layout::Matrix& b);
+
+struct SolveResult {
+  layout::Matrix x;
+  int refine_steps = 0;
+  double residual = 0.0;  // final normalized residual
+  Factorization factorization;
+};
+
+/// Factor with CALU (per `opt`) and solve A x = b with up to `max_refine`
+/// steps of iterative refinement in double precision.
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, int max_refine = 2);
+
+}  // namespace calu::core

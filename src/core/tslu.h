@@ -1,0 +1,64 @@
+// tslu.h — TSLU: the tournament-pivoting panel factorization of CALU
+// (Grigori, Demmel, Xiang — paper reference [12]; Section 2 here).
+//
+// The panel is factored in two steps.  A *preprocessing* reduction
+// identifies b pivot rows with low communication: leaves run GEPP on
+// disjoint chunks of the panel's rows and keep their b best candidate rows;
+// a binary tree of merge steps stacks two candidate sets (2b x b), runs
+// GEPP, and keeps the winners; the root yields the panel's pivots.  The
+// *second* step permutes the winners to the top and factors the panel
+// without pivoting.  GEPP is performed by the recursive LU (reference
+// [23]), "the best available sequential algorithm".
+//
+// The pieces are exposed separately because CALU turns each leaf/merge into
+// a DAG task (task P in the paper); tslu_factor() runs the whole pipeline
+// sequentially for standalone use and tests.
+#pragma once
+
+#include <vector>
+
+#include "src/layout/matrix.h"
+#include "src/layout/packed.h"
+
+namespace calu::core {
+
+/// A candidate set: `count` rows of width `width` (column-major, ld =
+/// count), plus the absolute matrix row each candidate came from.  Holds
+/// the rows' *original* values — the tournament only selects pivots.
+struct Candidates {
+  std::vector<double> vals;
+  std::vector<int> src;
+  int count = 0;
+  int width = 0;
+
+  const double* data() const { return vals.data(); }
+  double* data() { return vals.data(); }
+};
+
+/// GEPP-select on (rows x width) W (column-major, ld = ldw): factors a
+/// scratch copy with partial pivoting, applies the resulting row swaps to W
+/// and `src` in lockstep, so W's first min(rows, width) rows are the
+/// winners with their origin ids.  Deterministic.
+void tournament_select(int rows, int width, double* w, int ldw,
+                       int* src);
+
+/// Leaf step: gather the given tiles of panel column `kcol` (tile rows in
+/// `tile_rows`, ascending) from `a`, select, and return the winner set.
+Candidates tslu_leaf(const layout::PackedMatrix& a, int kcol,
+                     const std::vector<int>& tile_rows);
+
+/// Merge step: stack two candidate sets, select, return the winner set.
+Candidates tslu_merge(const Candidates& x, const Candidates& y);
+
+/// Turn the root winners into a LAPACK-style swap list relative to panel
+/// top row `row0`: result[i] = absolute row swapped with row (row0 + i).
+std::vector<int> build_swap_list(const std::vector<int>& winners, int row0,
+                                 int count);
+
+/// Standalone TSLU of an m x n panel (column-major Matrix, m >= 1): full
+/// tournament with `nchunks` leaves over row chunks, swap application, and
+/// unpivoted factorization in place.  Returns the absolute swap list
+/// (length min(m, n)).  Reference implementation for tests and examples.
+std::vector<int> tslu_factor(layout::Matrix& panel, int nchunks);
+
+}  // namespace calu::core

@@ -1,0 +1,65 @@
+// block_cyclic.cpp — pack/unpack for the block-cyclic layout (BCL).
+#include <cassert>
+
+#include "src/layout/packed.h"
+
+namespace calu::layout {
+namespace {
+
+// Number of tile-rows owned by grid row `ti` and their total row count.
+int owned_tile_rows(const Tiling& t, const Grid& g, int ti) {
+  const int mb = t.mb();
+  return ti < mb ? (mb - ti + g.pr - 1) / g.pr : 0;
+}
+
+int owned_rows(const Tiling& t, const Grid& g, int ti) {
+  int rows = 0;
+  for (int I = ti; I < t.mb(); I += g.pr) rows += t.tile_rows(I);
+  return rows;
+}
+
+int owned_cols(const Tiling& t, const Grid& g, int tj) {
+  int cols = 0;
+  for (int J = tj; J < t.nb(); J += g.pc) cols += t.tile_cols(J);
+  return cols;
+}
+
+}  // namespace
+
+PackedMatrix pack_bcl(const Matrix& a, int b, Grid grid) {
+  PackedMatrix p;
+  p.layout_ = Layout::BlockCyclic;
+  p.tiling_ = Tiling{a.rows(), a.cols(), b};
+  p.grid_ = grid;
+  const Tiling& t = p.tiling_;
+  p.bufs_.resize(grid.size());
+  p.local_rows_.resize(grid.size());
+  p.local_tile_rows_.resize(grid.size());
+  for (int ti = 0; ti < grid.pr; ++ti) {
+    const int lrows = owned_rows(t, grid, ti);
+    for (int tj = 0; tj < grid.pc; ++tj) {
+      const int tid = ti * grid.pc + tj;
+      p.local_rows_[tid] = lrows;
+      p.local_tile_rows_[tid] = owned_tile_rows(t, grid, ti);
+      p.bufs_[tid].assign(
+          static_cast<std::size_t>(lrows) * owned_cols(t, grid, tj), 0.0);
+    }
+  }
+  // Copy tile by tile.  Owned tiles earlier in a column are always full
+  // (only the last global tile row/col can be partial), so local offsets
+  // are simple multiples of b.
+  for (int J = 0; J < t.nb(); ++J) {
+    for (int I = 0; I < t.mb(); ++I) {
+      BlockRef dst = p.block(I, J);
+      const double* src =
+          a.data() + t.row0(I) + static_cast<std::size_t>(t.col0(J)) * a.ld();
+      for (int j = 0; j < dst.cols; ++j)
+        for (int i = 0; i < dst.rows; ++i)
+          dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
+              src[i + static_cast<std::size_t>(j) * a.ld()];
+    }
+  }
+  return p;
+}
+
+}  // namespace calu::layout

@@ -1,0 +1,21 @@
+#include "src/layout/grid.h"
+
+#include <cassert>
+
+namespace calu::layout {
+
+Grid Grid::best(int p) {
+  assert(p >= 1);
+  // Largest divisor pair (pr, pc) with pr >= pc and pr minimal such —
+  // i.e. pr = smallest divisor of p that is >= sqrt(p).
+  int pr = p, pc = 1;
+  for (int d = 1; d * d <= p; ++d) {
+    if (p % d == 0) {
+      pc = d;
+      pr = p / d;
+    }
+  }
+  return Grid{pr, pc};
+}
+
+}  // namespace calu::layout

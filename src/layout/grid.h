@@ -1,0 +1,25 @@
+// grid.h — 2-D thread grid for the block-cyclic distribution of the static
+// section (Section 3: "the matrix is distributed to threads using a classic
+// two-dimensional block-cyclic distribution").
+#pragma once
+
+namespace calu::layout {
+
+struct Grid {
+  int pr = 1;  // thread rows — panels are split over these during TSLU
+  int pc = 1;  // thread cols
+
+  int size() const { return pr * pc; }
+
+  /// Owner thread id (row-major over the grid) of tile (I, J).
+  int owner(int I, int J) const { return (I % pr) * pc + (J % pc); }
+  int owner_row(int t) const { return t / pc; }
+  int owner_col(int t) const { return t % pc; }
+
+  /// Near-square factorization of p, biased toward more thread *rows* so
+  /// the panel (a block column) is shared by more threads — the panel
+  /// factorization is the critical path.
+  static Grid best(int p);
+};
+
+}  // namespace calu::layout

@@ -1,0 +1,68 @@
+#include "src/layout/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace calu::layout {
+
+Matrix::Matrix(int m, int n) : m_(m), n_(n) {
+  assert(m >= 0 && n >= 0);
+  const std::size_t count = static_cast<std::size_t>(m) * n;
+  data_.reset(static_cast<double*>(
+      ::operator new[](count * sizeof(double), std::align_val_t{64})));
+  std::fill_n(data_.get(), count, 0.0);
+}
+
+Matrix::Matrix(const Matrix& other) : Matrix(other.m_, other.n_) {
+  std::copy_n(other.data_.get(), static_cast<std::size_t>(m_) * n_,
+              data_.get());
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this != &other) {
+    Matrix tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+void Matrix::fill(double v) {
+  std::fill_n(data_.get(), static_cast<std::size_t>(m_) * n_, v);
+}
+
+Matrix Matrix::random(int m, int n, std::uint64_t seed) {
+  Matrix a(m, n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  double* p = a.data();
+  for (std::size_t i = 0, e = static_cast<std::size_t>(m) * n; i < e; ++i)
+    p[i] = dist(rng);
+  return a;
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) a(i, i) = 1.0;
+  return a;
+}
+
+Matrix Matrix::wilkinson(int n) {
+  Matrix a(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      if (i == j) a(i, j) = 1.0;
+      else if (i > j) a(i, j) = -1.0;
+    }
+    a(j, n - 1) = 1.0;
+  }
+  return a;
+}
+
+Matrix Matrix::diag_dominant(int n, std::uint64_t seed) {
+  Matrix a = random(n, n, seed);
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+}  // namespace calu::layout

@@ -1,0 +1,108 @@
+// packed.h — the three matrix storage layouts of the paper (Section 4).
+//
+//  * ColumnMajor (CM): one column-major buffer, the LAPACK layout.  The
+//    paper only pairs it with fully dynamic scheduling (Table 1).
+//  * BlockCyclic (BCL): the matrix is split into b x b tiles, distributed
+//    2-D block-cyclically over the thread grid, and each thread's tiles are
+//    stored as ONE contiguous column-major submatrix.  A thread's tiles in
+//    the same tile column are vertically adjacent, which is what allows the
+//    grouped k*b GEMM update (Section 3, k = 3).
+//  * TwoLevelBlock (2l-BL): first level identical to BCL; second level
+//    stores every b x b tile contiguously (tile fits in cache), so any tile
+//    operation runs without extra memory transfer — at the price of no
+//    grouped GEMM (Section 4.2).
+//
+// All three are accessed through the same tile interface, so the DAG engine
+// is layout-agnostic.
+#pragma once
+
+#include <vector>
+
+#include "src/layout/grid.h"
+#include "src/layout/matrix.h"
+
+namespace calu::layout {
+
+enum class Layout { ColumnMajor, BlockCyclic, TwoLevelBlock };
+
+const char* layout_name(Layout l);
+
+/// Tile geometry of an m x n matrix cut into b x b tiles (edge tiles
+/// partial).
+struct Tiling {
+  int m = 0, n = 0, b = 1;
+
+  int mb() const { return (m + b - 1) / b; }       // tile rows
+  int nb() const { return (n + b - 1) / b; }       // tile cols
+  int row0(int I) const { return I * b; }
+  int col0(int J) const { return J * b; }
+  int tile_rows(int I) const { return I == mb() - 1 ? m - I * b : b; }
+  int tile_cols(int J) const { return J == nb() - 1 ? n - J * b : b; }
+};
+
+/// A writable view of one tile (or a vertical group of tiles): column-major
+/// with leading dimension ld.
+struct BlockRef {
+  double* ptr = nullptr;
+  int ld = 0;
+  int rows = 0;
+  int cols = 0;
+};
+
+/// A dense matrix packed into one of the three layouts.  Thread-safe for
+/// concurrent access to distinct tiles (tiles never alias).
+class PackedMatrix {
+ public:
+  PackedMatrix() = default;
+
+  /// Pack a column-major matrix.  `b` is the tile size, `grid` the thread
+  /// grid used for the cyclic distribution (ignored for ColumnMajor).
+  static PackedMatrix pack(const Matrix& a, Layout layout, int b, Grid grid);
+
+  /// Write the packed contents back into a column-major matrix (must have
+  /// matching dimensions).
+  void unpack(Matrix& a) const;
+
+  /// View of tile (I, J).
+  BlockRef block(int I, int J);
+  BlockRef block(int I, int J) const {
+    return const_cast<PackedMatrix*>(this)->block(I, J);
+  }
+
+  /// BCL only: the number of tiles {I, I+pr, I+2*pr, ...} in tile column J,
+  /// starting at I, that the owner of (I, J) stores contiguously (capped at
+  /// `max_tiles`).  Returns 1 for other layouts.
+  int owned_run_down(int I, int J, int max_tiles) const;
+
+  /// View covering the `ntiles` tiles {I, I+step, ...} of tile column J
+  /// where step = grid.pr (BCL) — a single (sum of heights) x tile_cols(J)
+  /// column-major block.  Requires owned_run_down(I,J,..) >= ntiles.
+  BlockRef column_segment(int I, int J, int ntiles);
+
+  /// Swap global rows r1 and r2 across global columns [c0, c1).  Routed
+  /// through tiles, so it works for every layout; this implements both the
+  /// "right swaps" inside the factorization and the deferred left swaps.
+  void swap_rows_global(int c0, int c1, int r1, int r2);
+
+  double get(int i, int j) const;  // element access for tests (slow)
+
+  Layout layout() const { return layout_; }
+  const Tiling& tiling() const { return tiling_; }
+  const Grid& grid() const { return grid_; }
+
+ private:
+  Layout layout_ = Layout::ColumnMajor;
+  Tiling tiling_;
+  Grid grid_;
+  // CM: bufs_[0] holds the whole matrix (ld = m).
+  // BCL: bufs_[t] is thread t's submatrix, ld = local_rows_[t].
+  // 2l-BL: bufs_[t] is thread t's padded tile array (b*b per tile).
+  std::vector<std::vector<double>> bufs_;
+  std::vector<int> local_rows_;       // BCL ld / 2l-BL owned tile rows
+  std::vector<int> local_tile_rows_;  // per-thread owned tile-row count
+
+  friend PackedMatrix pack_bcl(const Matrix&, int, Grid);
+  friend PackedMatrix pack_2l(const Matrix&, int, Grid);
+};
+
+}  // namespace calu::layout

@@ -1,0 +1,44 @@
+// two_level.cpp — pack/unpack for the two-level block layout (2l-BL).
+// First level: block-cyclic over the grid.  Second level: each b x b tile
+// stored contiguously (padded to b*b so tile offsets are O(1) arithmetic;
+// partial edge tiles simply leave the padding untouched).
+#include <cassert>
+
+#include "src/layout/packed.h"
+
+namespace calu::layout {
+
+PackedMatrix pack_2l(const Matrix& a, int b, Grid grid) {
+  PackedMatrix p;
+  p.layout_ = Layout::TwoLevelBlock;
+  p.tiling_ = Tiling{a.rows(), a.cols(), b};
+  p.grid_ = grid;
+  const Tiling& t = p.tiling_;
+  const int mb = t.mb(), nb = t.nb();
+  p.bufs_.resize(grid.size());
+  p.local_rows_.resize(grid.size(), 0);
+  p.local_tile_rows_.resize(grid.size());
+  for (int ti = 0; ti < grid.pr; ++ti) {
+    const int ltr = ti < mb ? (mb - ti + grid.pr - 1) / grid.pr : 0;
+    for (int tj = 0; tj < grid.pc; ++tj) {
+      const int tid = ti * grid.pc + tj;
+      const int ltc = tj < nb ? (nb - tj + grid.pc - 1) / grid.pc : 0;
+      p.local_tile_rows_[tid] = ltr;
+      p.bufs_[tid].assign(static_cast<std::size_t>(ltr) * ltc * b * b, 0.0);
+    }
+  }
+  for (int J = 0; J < nb; ++J) {
+    for (int I = 0; I < mb; ++I) {
+      BlockRef dst = p.block(I, J);
+      const double* src =
+          a.data() + t.row0(I) + static_cast<std::size_t>(t.col0(J)) * a.ld();
+      for (int j = 0; j < dst.cols; ++j)
+        for (int i = 0; i < dst.rows; ++i)
+          dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
+              src[i + static_cast<std::size_t>(j) * a.ld()];
+    }
+  }
+  return p;
+}
+
+}  // namespace calu::layout

@@ -1,0 +1,66 @@
+#include "src/noise/noise.h"
+
+#include <algorithm>
+
+namespace calu::noise {
+namespace {
+
+// xorshift64* — tiny, fast, good enough for Bernoulli draws.
+inline std::uint64_t next(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1DULL;
+}
+
+inline double uniform01(std::uint64_t& s) {
+  return static_cast<double>(next(s) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void burn(double seconds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  volatile double sink = 0.0;
+  for (;;) {
+    for (int i = 0; i < 1000; ++i) sink = sink + 1e-9 * i;
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    if (dt.count() >= seconds) break;
+  }
+}
+
+Injector::Injector(const NoiseSpec& spec, int nthreads) : spec_(spec) {
+  state_.resize(nthreads);
+  for (int t = 0; t < nthreads; ++t)
+    state_[t].rng = spec.seed * 0x9E3779B97F4A7C15ULL + t + 1;
+}
+
+void Injector::maybe_inject(int tid) {
+  if (!spec_.enabled()) return;
+  PerThread& st = state_[tid];
+  if (uniform01(st.rng) >= spec_.prob) return;
+  const double jitter = (2.0 * uniform01(st.rng) - 1.0) * spec_.jitter_us;
+  const double dur = std::max(0.0, spec_.mean_us + jitter) * 1e-6;
+  burn(dur);
+  st.total += dur;
+}
+
+double Injector::delta_max() const {
+  double mx = 0.0;
+  for (const auto& st : state_) mx = std::max(mx, st.total);
+  return mx;
+}
+
+double Injector::delta_avg() const {
+  if (state_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& st : state_) s += st.total;
+  return s / state_.size();
+}
+
+void Injector::reset() {
+  for (auto& st : state_) st.total = 0.0;
+}
+
+}  // namespace calu::noise

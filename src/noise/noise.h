@@ -1,0 +1,56 @@
+// noise.h — deterministic transient-load injection.
+//
+// Section 1 motivates the hybrid scheduler with "transient, dynamic
+// performance variation" (OS daemons, I/O) that static tuning cannot
+// predict; Section 6 models it as excess work δi on core i occurring with
+// probability φ.  The injector reproduces that model in a controlled way:
+// between tasks, each worker burns `δ` of CPU time with probability φ, from
+// a seeded per-thread stream, and accounts the injected seconds so the
+// Theorem-1 bench can compare the *measured* δmax/δavg against the model.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace calu::noise {
+
+struct NoiseSpec {
+  double prob = 0.0;        // φ: injection probability per task boundary
+  double mean_us = 0.0;     // mean burst length, microseconds
+  double jitter_us = 0.0;   // uniform jitter around the mean
+  std::uint64_t seed = 42;
+
+  bool enabled() const { return prob > 0.0 && mean_us > 0.0; }
+};
+
+class Injector {
+ public:
+  Injector(const NoiseSpec& spec, int nthreads);
+
+  /// Called by a worker between tasks; busy-spins (real CPU work, like a
+  /// daemon stealing the core) when the per-thread RNG fires.
+  void maybe_inject(int tid);
+
+  /// Total seconds of excess work injected into thread `tid` so far — the
+  /// empirical δi of the performance model.
+  double injected_seconds(int tid) const { return state_[tid].total; }
+  double delta_max() const;
+  double delta_avg() const;
+  void reset();
+
+  const NoiseSpec& spec() const { return spec_; }
+
+ private:
+  struct alignas(64) PerThread {
+    std::uint64_t rng = 0;
+    double total = 0.0;
+  };
+  NoiseSpec spec_;
+  std::vector<PerThread> state_;
+};
+
+/// Busy-spin for `seconds` of wall time (used by the injector and tests).
+void burn(double seconds);
+
+}  // namespace calu::noise

@@ -1,0 +1,24 @@
+#include "src/sched/dag.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace calu::sched {
+
+void TaskGraph::finalize() {
+  assert(!finalized());
+  const int n = num_tasks();
+  offset_.assign(n + 1, 0);
+  for (const auto& [from, to] : edges_) {
+    assert(from >= 0 && from < n && to >= 0 && to < n && from != to);
+    ++offset_[from + 1];
+  }
+  for (int i = 0; i < n; ++i) offset_[i + 1] += offset_[i];
+  succ_.resize(edges_.size());
+  std::vector<int> cursor(offset_.begin(), offset_.end() - 1);
+  for (const auto& [from, to] : edges_) succ_[cursor[from]++] = to;
+  edges_.clear();
+  edges_.shrink_to_fit();
+}
+
+}  // namespace calu::sched

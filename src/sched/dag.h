@@ -1,0 +1,75 @@
+// dag.h — dependency-counted task graph.
+//
+// The hybrid scheduler splits one task dependency graph into a statically
+// scheduled part (tasks carry an owner thread, determined by the 2-D
+// block-cyclic distribution) and a dynamically scheduled part (owner == -1,
+// fed to the shared global queue).  The graph itself is schedule-agnostic;
+// CALU's builder (src/core/calu_dag.cpp) decides owners and priorities, and
+// the engine (engine.h) executes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace calu::sched {
+
+/// Owner value marking a task as dynamically scheduled.
+inline constexpr int kDynamicOwner = -1;
+
+struct Task {
+  std::uint64_t priority = 0;  // lower pops first (DFS order / look-ahead)
+  std::int32_t owner = kDynamicOwner;
+  trace::Kind kind = trace::Kind::Other;
+  std::int32_t step = -1;   // K (panel index) — metadata for exec/trace
+  std::int32_t i = -1;      // tile row
+  std::int32_t j = -1;      // tile col
+  std::int32_t aux = 0;     // kind-specific (e.g. group length, tree level)
+  // Locality tag (Section 9 "future work" extension): the thread whose
+  // cache most likely holds this task's tiles, independent of whether the
+  // task is statically owned.  Used by the locality-aware dynamic policy.
+  std::int32_t tag = -1;
+};
+
+class TaskGraph {
+ public:
+  /// Adds a task, returns its id (dense, starting at 0).
+  int add_task(const Task& t) {
+    tasks_.push_back(t);
+    ndeps_.push_back(0);
+    return static_cast<int>(tasks_.size()) - 1;
+  }
+
+  /// Declares that `to` cannot start before `from` completed.
+  void add_edge(int from, int to) {
+    edges_.emplace_back(from, to);
+    ++ndeps_[to];
+  }
+
+  /// Builds the CSR successor structure.  Call once, before execution.
+  void finalize();
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const Task& task(int id) const { return tasks_[id]; }
+  Task& task(int id) { return tasks_[id]; }
+  int initial_deps(int id) const { return ndeps_[id]; }
+
+  std::span<const int> successors(int id) const {
+    return {succ_.data() + offset_[id],
+            static_cast<std::size_t>(offset_[id + 1] - offset_[id])};
+  }
+
+  bool finalized() const { return !offset_.empty(); }
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<int> ndeps_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<int> offset_;  // CSR: size num_tasks+1
+  std::vector<int> succ_;
+};
+
+}  // namespace calu::sched

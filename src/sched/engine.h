@@ -1,0 +1,64 @@
+// engine.h — task-graph executors.
+//
+// run_owner_queues() is the paper's scheduler: every thread first serves its
+// own priority queue of ready *static* tasks (ensuring progress on the
+// critical path and data locality), and only when that is empty pulls from
+// the shared global queue of *dynamic* tasks in DFS order — Algorithm 1's
+// "while ... not done, do dynamic_tasks()" made explicit.  Fully static
+// (every task owned) and fully dynamic (no task owned) are the two
+// degenerate cases, so one engine serves the whole design space of Table 1.
+//
+// run_work_stealing() is the related-work baseline (Section 8): ready tasks
+// go to the spawning thread's deque, idle threads steal from random
+// victims.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "src/noise/noise.h"
+#include "src/sched/dag.h"
+#include "src/sched/thread_team.h"
+#include "src/trace/trace.h"
+
+namespace calu::sched {
+
+/// The work function: execute task `id` on thread `tid`.
+using ExecFn = std::function<void(int id, int tid)>;
+
+struct RunHooks {
+  trace::Recorder* recorder = nullptr;  // optional timeline recording
+  noise::Injector* injector = nullptr;  // optional transient-load injection
+  /// Section-9 extension: partition the shared dynamic queue by Task::tag
+  /// and let each thread serve its own tag's bucket first ("tasks whose
+  /// data is highly likely to be in a core's cache already"), falling back
+  /// to other buckets round-robin.  DFS priority is preserved within each
+  /// bucket.
+  bool locality_tags = false;
+};
+
+struct EngineStats {
+  std::uint64_t static_pops = 0;   // tasks served from per-thread queues
+  std::uint64_t dynamic_pops = 0;  // tasks served from the global queue
+  std::uint64_t steals = 0;        // successful steals (work stealing only)
+  std::uint64_t steal_attempts = 0;
+  double elapsed = 0.0;            // seconds inside the engine
+};
+
+/// Hybrid static/dynamic execution.  Tasks with owner >= 0 are queued to
+/// that thread; owner == kDynamicOwner tasks go to the global queue which
+/// any idle thread may serve.
+EngineStats run_owner_queues(ThreadTeam& team, const TaskGraph& graph,
+                             const ExecFn& exec, const RunHooks& hooks = {});
+
+/// Cilk-style randomized work stealing over the same graph (owner hints are
+/// ignored).  `steal_from_top` selects FIFO steals (the classic discipline);
+/// false steals LIFO, the variant the paper argues inhibits the critical
+/// path of factorizations.
+EngineStats run_work_stealing(ThreadTeam& team, const TaskGraph& graph,
+                              const ExecFn& exec, const RunHooks& hooks = {},
+                              std::uint64_t seed = 7,
+                              bool steal_from_top = true);
+
+}  // namespace calu::sched

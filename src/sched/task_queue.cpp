@@ -1,0 +1,8 @@
+// task_queue.cpp — the queues are header-only; this TU exists to give the
+// header a home in the library and to hold the (intentionally tiny) odr
+// anchor.
+#include "src/sched/task_queue.h"
+
+namespace calu::sched {
+// Intentionally empty.
+}  // namespace calu::sched

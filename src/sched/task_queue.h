@@ -1,0 +1,106 @@
+// task_queue.h — priority queues used by the hybrid scheduler.
+//
+// The paper's static section keeps "a queue of ready tasks" per thread; the
+// dynamic section keeps "a shared global queue of ready tasks" traversed in
+// DFS (left-to-right) order.  Both are priority queues ordered by a 64-bit
+// key that encodes (tile column J, step K, task kind): popping the smallest
+// key yields exactly the DFS order of Algorithm 2, and inside the static
+// part it realizes look-ahead (panel-column tasks sort before trailing
+// updates).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace calu::sched {
+
+/// Mutex-protected min-heap of (priority, task id).  The lock cost is the
+/// point: the paper's "dequeue overhead" of centralized dynamic scheduling
+/// is a real, measurable cost here, exactly as in the system being
+/// reproduced.  An atomic element counter lets idle threads poll emptiness
+/// without touching the mutex, so spinning waiters don't serialize the
+/// workers actually making progress.
+class PriorityTaskQueue {
+ public:
+  void push(std::uint64_t key, int task) {
+    std::lock_guard lk(mu_);
+    heap_.emplace(key, task);
+    count_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Pops the lowest-key task into `task`; returns false when empty.
+  bool try_pop(int& task) {
+    if (count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard lk(mu_);
+    if (heap_.empty()) return false;
+    task = heap_.top().second;
+    heap_.pop();
+    count_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const { return count_.load(std::memory_order_acquire) == 0; }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(
+        std::max<int>(0, count_.load(std::memory_order_acquire)));
+  }
+
+ private:
+  using Entry = std::pair<std::uint64_t, int>;
+  struct Greater {
+    bool operator()(const Entry& a, const Entry& b) const { return a > b; }
+  };
+  mutable std::mutex mu_;
+  std::atomic<int> count_{0};
+  std::priority_queue<Entry, std::vector<Entry>, Greater> heap_;
+};
+
+/// Mutex-protected deque for the work-stealing executor: the owner pushes
+/// and pops at the bottom (LIFO), thieves take from the top (FIFO) — the
+/// classic Cilk discipline discussed (and criticized for factorizations) in
+/// the paper's related-work section.
+class StealDeque {
+ public:
+  void push_bottom(int task) {
+    std::lock_guard lk(mu_);
+    items_.push_back(task);
+    count_.fetch_add(1, std::memory_order_release);
+  }
+
+  bool pop_bottom(int& task) {
+    if (count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard lk(mu_);
+    if (items_.empty()) return false;
+    task = items_.back();
+    items_.pop_back();
+    count_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+
+  bool steal_top(int& task) {
+    if (count_.load(std::memory_order_acquire) == 0) return false;
+    std::lock_guard lk(mu_);
+    if (items_.empty()) return false;
+    task = items_.front();
+    items_.erase(items_.begin());
+    count_.fetch_sub(1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(
+        std::max<int>(0, count_.load(std::memory_order_acquire)));
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<int> count_{0};
+  std::vector<int> items_;
+};
+
+}  // namespace calu::sched

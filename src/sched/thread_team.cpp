@@ -1,0 +1,97 @@
+#include "src/sched/thread_team.h"
+
+#include <cassert>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace calu::sched {
+namespace {
+
+void pin_to_core(int core) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % static_cast<int>(std::thread::hardware_concurrency()), &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+int ThreadTeam::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadTeam::ThreadTeam(int nthreads, bool pin) : nthreads_(nthreads) {
+  assert(nthreads >= 1);
+  if (pin) pin_to_core(0);
+  workers_.reserve(nthreads_ - 1);
+  for (int t = 1; t < nthreads_; ++t)
+    workers_.emplace_back([this, t, pin] { worker_loop(t, pin); });
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::worker_loop(int tid, bool pin) {
+  if (pin) pin_to_core(tid);
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard lk(mu_);
+      if (++done_count_ == nthreads_ - 1) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+  if (nthreads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    job_ = &fn;
+    done_count_ = 0;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return done_count_ == nthreads_ - 1; });
+  job_ = nullptr;
+}
+
+void ThreadTeam::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int p = nthreads_;
+  run([&](int tid) {
+    const int chunk = (n + p - 1) / p;
+    const int lo = tid * chunk;
+    const int hi = std::min(n, lo + chunk);
+    for (int i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace calu::sched

@@ -1,0 +1,52 @@
+// thread_team.h — persistent pinned thread pool.
+//
+// One team is created per factorization call (or reused across calls by the
+// benchmarks); workers park on a condition variable between parallel
+// regions.  Threads are pinned round-robin to cores, matching the paper's
+// fixed-thread-count experiments on the Xeon/Opteron machines.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace calu::sched {
+
+class ThreadTeam {
+ public:
+  /// Spawns `nthreads - 1` workers; the caller participates as thread 0.
+  explicit ThreadTeam(int nthreads, bool pin = true);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return nthreads_; }
+
+  /// Runs fn(tid) on every team member (tid in [0, size())) and waits for
+  /// all of them.  Not reentrant.
+  void run(const std::function<void(int)>& fn);
+
+  /// Static-chunked parallel for over [0, n).
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+  static int hardware_threads();
+
+ private:
+  void worker_loop(int tid, bool pin);
+
+  int nthreads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int done_count_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace calu::sched

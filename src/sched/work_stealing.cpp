@@ -1,0 +1,117 @@
+// work_stealing.cpp — randomized work-stealing executor (Section 8
+// baseline).  Ready tasks go to the spawning thread's deque bottom; the
+// owner pops LIFO; thieves take from a random victim's top (FIFO) or bottom
+// (LIFO) depending on `steal_from_top`.
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+#include "src/sched/engine.h"
+#include "src/sched/task_queue.h"
+
+namespace calu::sched {
+
+EngineStats run_work_stealing(ThreadTeam& team, const TaskGraph& graph,
+                              const ExecFn& exec, const RunHooks& hooks,
+                              std::uint64_t seed, bool steal_from_top) {
+  assert(graph.finalized());
+  const int p = team.size();
+  const int n = graph.num_tasks();
+
+  std::vector<StealDeque> deques(p);
+  std::vector<std::atomic<int>> deps(n);
+  for (int t = 0; t < n; ++t)
+    deps[t].store(graph.initial_deps(t), std::memory_order_relaxed);
+  std::atomic<int> remaining(n);
+
+  // Initial (static) near-equal distribution of the roots, as in the
+  // paper's description of work stealing.
+  {
+    int next = 0;
+    for (int t = 0; t < n; ++t)
+      if (graph.initial_deps(t) == 0) deques[next++ % p].push_bottom(t);
+  }
+
+  struct alignas(64) Local {
+    std::uint64_t rng = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t pops = 0;
+  };
+  std::vector<Local> local(p);
+  for (int t = 0; t < p; ++t) local[t].rng = seed * 0x9E3779B97F4A7C15ULL + t;
+
+  trace::Recorder* rec = hooks.recorder;
+  if (rec) rec->start(p);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  team.run([&](int tid) {
+    Local& me = local[tid];
+    auto rnd = [&me] {
+      me.rng ^= me.rng >> 12;
+      me.rng ^= me.rng << 25;
+      me.rng ^= me.rng >> 27;
+      return me.rng * 0x2545F4914F6CDD1DULL;
+    };
+    int backoff = 0;
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      int id = -1;
+      bool stolen = false;
+      if (deques[tid].pop_bottom(id)) {
+        ++me.pops;
+      } else if (p > 1) {
+        const int victim = static_cast<int>(rnd() % (p - 1));
+        const int v = victim >= tid ? victim + 1 : victim;
+        ++me.attempts;
+        const bool ok = steal_from_top ? deques[v].steal_top(id)
+                                       : deques[v].pop_bottom(id);
+        if (!ok) {
+          if (++backoff > 64) {
+            std::this_thread::yield();
+            backoff = 0;
+          }
+          continue;
+        }
+        stolen = true;
+        ++me.steals;
+      } else {
+        continue;
+      }
+      backoff = 0;
+      if (hooks.injector) hooks.injector->maybe_inject(tid);
+      trace::Event ev;
+      if (rec) {
+        const Task& t = graph.task(id);
+        ev.kind = t.kind;
+        ev.step = t.step;
+        ev.i = t.i;
+        ev.j = t.j;
+        ev.dynamic = stolen;
+        ev.t0 = rec->now();
+      }
+      exec(id, tid);
+      if (rec) {
+        ev.t1 = rec->now();
+        rec->record(tid, ev);
+      }
+      for (int s : graph.successors(id))
+        if (deps[s].fetch_sub(1, std::memory_order_acq_rel) == 1)
+          deques[tid].push_bottom(s);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  });
+
+  EngineStats st;
+  st.elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (rec) rec->stop();
+  for (int t = 0; t < p; ++t) {
+    st.static_pops += local[t].pops;
+    st.steals += local[t].steals;
+    st.steal_attempts += local[t].attempts;
+  }
+  return st;
+}
+
+}  // namespace calu::sched

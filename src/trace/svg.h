@@ -1,0 +1,21 @@
+// svg.h — SVG timeline writer, the paper-figure-style rendering
+// (red = panel tasks, green = updates, white = idle).
+#pragma once
+
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace calu::trace {
+
+/// Render the trace as an SVG Gantt chart (one lane per thread, colored by
+/// task kind).  Returns the SVG document.
+std::string svg_timeline(const Recorder& rec, int width_px = 1200,
+                         int lane_px = 18);
+
+/// Convenience: write svg_timeline() to a file.  Returns false on I/O
+/// failure.
+bool write_svg_timeline(const std::string& path, const Recorder& rec,
+                        int width_px = 1200, int lane_px = 18);
+
+}  // namespace calu::trace

@@ -1,0 +1,35 @@
+#include "src/trace/trace.h"
+
+namespace calu::trace {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::P: return "P";
+    case Kind::L: return "L";
+    case Kind::U: return "U";
+    case Kind::S: return "S";
+    case Kind::Swap: return "W";
+    case Kind::Other: return "?";
+  }
+  return "?";
+}
+
+void Recorder::start(int nthreads) {
+  events_.assign(nthreads, {});
+  for (auto& v : events_) v.reserve(1024);
+  makespan_ = 0.0;
+  active_ = true;
+  t0_ = clock::now();
+}
+
+void Recorder::stop() {
+  // The makespan is the stop timestamp, but never earlier than the last
+  // recorded event end (guards against clock skew and synthetic traces).
+  makespan_ = now();
+  for (const auto& v : events_)
+    for (const Event& e : v)
+      if (e.t1 > makespan_) makespan_ = e.t1;
+  active_ = false;
+}
+
+}  // namespace calu::trace

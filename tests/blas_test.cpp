@@ -1,0 +1,329 @@
+// blas_test.cpp — kernel layer vs naive references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/blas/blas.h"
+#include "tests/test_util.h"
+
+namespace calu {
+namespace {
+
+using blas::Diag;
+using blas::Side;
+using blas::Trans;
+using blas::UpLo;
+
+// ---------------------------------------------------------------- GEMM ---
+
+struct GemmCase {
+  int m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  const GemmCase c = GetParam();
+  // Over-allocate so ld > rows exercises strided access.
+  const int lda = (c.ta == Trans::No ? c.m : c.k) + 3;
+  const int ldb = (c.tb == Trans::No ? c.k : c.n) + 2;
+  const int ldc = c.m + 5;
+  auto a = test::random_vec(static_cast<std::size_t>(lda) *
+                                (c.ta == Trans::No ? c.k : c.m),
+                            1);
+  auto b = test::random_vec(static_cast<std::size_t>(ldb) *
+                                (c.tb == Trans::No ? c.n : c.k),
+                            2);
+  auto cc = test::random_vec(static_cast<std::size_t>(ldc) * c.n, 3);
+  auto ref = cc;
+  blas::gemm(c.ta, c.tb, c.m, c.n, c.k, c.alpha, a.data(), lda, b.data(),
+             ldb, c.beta, cc.data(), ldc);
+  test::ref_gemm(c.ta == Trans::Yes, c.tb == Trans::Yes, c.m, c.n, c.k,
+                 c.alpha, a.data(), lda, b.data(), ldb, c.beta, ref.data(),
+                 ldc);
+  double mx = 0.0;
+  for (int j = 0; j < c.n; ++j)
+    for (int i = 0; i < c.m; ++i)
+      mx = std::max(mx, std::fabs(cc[i + static_cast<std::size_t>(j) * ldc] -
+                                  ref[i + static_cast<std::size_t>(j) * ldc]));
+  EXPECT_LT(mx, 1e-11 * std::max(1, c.k));
+}
+
+std::vector<GemmCase> gemm_cases() {
+  std::vector<GemmCase> cases;
+  const int sizes[] = {1, 2, 7, 16, 33, 100, 129, 257};
+  for (int m : sizes)
+    for (int n : {1, 8, 64, 130})
+      for (int k : {1, 13, 100}) {
+        cases.push_back({m, n, k, Trans::No, Trans::No, 1.0, 1.0});
+        cases.push_back({m, n, k, Trans::No, Trans::No, -1.0, 1.0});
+      }
+  // Transpose pairs, alpha/beta variety.
+  cases.push_back({40, 30, 20, Trans::Yes, Trans::No, 2.0, 0.5});
+  cases.push_back({40, 30, 20, Trans::No, Trans::Yes, -0.5, 0.0});
+  cases.push_back({129, 65, 70, Trans::Yes, Trans::No, 1.0, 1.0});
+  cases.push_back({129, 65, 70, Trans::No, Trans::Yes, 1.0, -1.0});
+  cases.push_back({64, 64, 64, Trans::No, Trans::No, 0.0, 2.0});  // alpha=0
+  cases.push_back({300, 300, 300, Trans::No, Trans::No, 1.0, 1.0});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GemmTest, ::testing::ValuesIn(gemm_cases()));
+
+TEST(Gemm, ZeroDimensionsAreNoOps) {
+  double c[4] = {1, 2, 3, 4};
+  blas::gemm(Trans::No, Trans::No, 0, 2, 3, 1.0, nullptr, 1, nullptr, 3, 0.0,
+             c, 2);
+  blas::gemm(Trans::No, Trans::No, 2, 0, 3, 1.0, nullptr, 2, nullptr, 3, 0.0,
+             c, 2);
+  EXPECT_EQ(c[0], 1.0);
+  EXPECT_EQ(c[3], 4.0);
+}
+
+TEST(Gemm, KZeroScalesByBeta) {
+  double c[4] = {1, 2, 3, 4};
+  blas::gemm(Trans::No, Trans::No, 2, 2, 0, 1.0, nullptr, 2, nullptr, 2, 0.5,
+             c, 2);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[3], 2.0);
+}
+
+// ---------------------------------------------------------------- TRSM ---
+
+struct TrsmCase {
+  Side side;
+  UpLo uplo;
+  Trans trans;
+  Diag diag;
+  int m, n;
+};
+
+class TrsmTest : public ::testing::TestWithParam<TrsmCase> {};
+
+TEST_P(TrsmTest, SolvesAgainstGemm) {
+  const TrsmCase c = GetParam();
+  const int tdim = c.side == Side::Left ? c.m : c.n;
+  const int ldt = tdim + 2;
+  const int ldb = c.m + 1;
+  auto t = test::random_vec(static_cast<std::size_t>(ldt) * tdim, 11);
+  // Make the triangle well conditioned.
+  for (int i = 0; i < tdim; ++i)
+    t[i + static_cast<std::size_t>(i) * ldt] = 3.0 + i % 5;
+  auto b = test::random_vec(static_cast<std::size_t>(ldb) * c.n, 12);
+  auto x = b;
+  blas::trsm(c.side, c.uplo, c.trans, c.diag, c.m, c.n, 1.0, t.data(), ldt,
+             x.data(), ldb);
+  // Rebuild op(T) densely and verify op(T)*X = B (left) or X*op(T) = B.
+  std::vector<double> tf(static_cast<std::size_t>(tdim) * tdim, 0.0);
+  for (int j = 0; j < tdim; ++j)
+    for (int i = 0; i < tdim; ++i) {
+      const bool in_tri = c.uplo == UpLo::Lower ? i >= j : i <= j;
+      if (!in_tri) continue;
+      double v = t[i + static_cast<std::size_t>(j) * ldt];
+      if (i == j && c.diag == Diag::Unit) v = 1.0;
+      tf[i + static_cast<std::size_t>(j) * tdim] = v;
+    }
+  std::vector<double> prod(static_cast<std::size_t>(c.m) * c.n, 0.0);
+  const bool tt = c.trans == Trans::Yes;
+  if (c.side == Side::Left)
+    test::ref_gemm(tt, false, c.m, c.n, c.m, 1.0, tf.data(), tdim, x.data(),
+                   ldb, 0.0, prod.data(), c.m);
+  else
+    test::ref_gemm(false, tt, c.m, c.n, c.n, 1.0, x.data(), ldb, tf.data(),
+                   tdim, 0.0, prod.data(), c.m);
+  double mx = 0.0;
+  for (int j = 0; j < c.n; ++j)
+    for (int i = 0; i < c.m; ++i)
+      mx = std::max(mx,
+                    std::fabs(prod[i + static_cast<std::size_t>(j) * c.m] -
+                              b[i + static_cast<std::size_t>(j) * ldb]));
+  EXPECT_LT(mx, 1e-10 * tdim);
+}
+
+std::vector<TrsmCase> trsm_cases() {
+  std::vector<TrsmCase> cases;
+  for (Side s : {Side::Left, Side::Right})
+    for (UpLo u : {UpLo::Lower, UpLo::Upper})
+      for (Diag d : {Diag::Unit, Diag::NonUnit})
+        for (auto [m, n] : {std::pair{1, 1}, {5, 3}, {64, 64}, {100, 37},
+                            {65, 129}, {130, 100}})
+          cases.push_back({s, u, Trans::No, d, m, n});
+  // Transposed solves (small triangles only, as used by the library).
+  for (UpLo u : {UpLo::Lower, UpLo::Upper})
+    for (Diag d : {Diag::Unit, Diag::NonUnit}) {
+      cases.push_back({Side::Left, u, Trans::Yes, d, 20, 9});
+      cases.push_back({Side::Right, u, Trans::Yes, d, 9, 20});
+    }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrsmTest, ::testing::ValuesIn(trsm_cases()));
+
+TEST(Trsm, AlphaScalesRhs) {
+  double t[1] = {2.0};
+  double b[2] = {4.0, 8.0};
+  blas::trsm(Side::Left, UpLo::Lower, Trans::No, Diag::NonUnit, 1, 2, 0.5, t,
+             1, b, 1);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+}
+
+// --------------------------------------------------------------- LASWP ---
+
+TEST(Laswp, ForwardThenBackwardRestores) {
+  layout::Matrix a = layout::Matrix::random(10, 4, 5);
+  layout::Matrix orig = a;
+  int ipiv[5] = {3, 1, 7, 9, 4};
+  blas::laswp(4, a.data(), a.ld(), 0, 5, ipiv, true);
+  EXPECT_GT(test::max_abs_diff(a, orig), 0.0);
+  blas::laswp(4, a.data(), a.ld(), 0, 5, ipiv, false);
+  EXPECT_EQ(test::max_abs_diff(a, orig), 0.0);
+}
+
+TEST(Laswp, MatchesManualSwaps) {
+  layout::Matrix a = layout::Matrix::random(6, 3, 6);
+  layout::Matrix b = a;
+  int ipiv[2] = {4, 2};
+  blas::laswp(3, a.data(), a.ld(), 0, 2, ipiv);
+  blas::swap_rows(3, b.data(), b.ld(), 0, 4);
+  blas::swap_rows(3, b.data(), b.ld(), 1, 2);
+  EXPECT_EQ(test::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Laswp, RangeSubset) {
+  layout::Matrix a = layout::Matrix::random(8, 2, 7);
+  layout::Matrix orig = a;
+  int ipiv[4] = {0, 1, 5, 3};  // entries 0,1 outside [2,4) must be ignored
+  blas::laswp(2, a.data(), a.ld(), 2, 4, ipiv);
+  EXPECT_EQ(a(2, 0), orig(5, 0));
+  EXPECT_EQ(a(5, 0), orig(2, 0));
+  EXPECT_EQ(a(0, 0), orig(0, 0));
+}
+
+// --------------------------------------------------------------- GETF2 ---
+
+class LuSizeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(LuSizeTest, Getf2Residual) {
+  const auto [m, n] = GetParam();
+  layout::Matrix a = layout::Matrix::random(m, n, 21);
+  layout::Matrix a0 = a;
+  std::vector<int> ipiv(std::min(m, n));
+  const int info = blas::getf2(m, n, a.data(), a.ld(), ipiv.data());
+  EXPECT_EQ(info, 0);
+  EXPECT_LT(blas::lu_residual(m, n, a0.data(), a0.ld(), a.data(), a.ld(),
+                              ipiv.data(), static_cast<int>(ipiv.size())),
+            50.0);
+}
+
+TEST_P(LuSizeTest, RecursiveMatchesGetf2Exactly) {
+  const auto [m, n] = GetParam();
+  layout::Matrix a = layout::Matrix::random(m, n, 22);
+  layout::Matrix b = a;
+  std::vector<int> ipa(std::min(m, n)), ipb(std::min(m, n));
+  blas::getf2(m, n, a.data(), a.ld(), ipa.data());
+  blas::getrf_recursive(m, n, b.data(), b.ld(), ipb.data());
+  // Partial pivoting is deterministic: same pivots.
+  EXPECT_EQ(ipa, ipb);
+  EXPECT_LT(test::max_abs_diff(a, b), 1e-11);
+}
+
+TEST_P(LuSizeTest, RecursiveResidual) {
+  const auto [m, n] = GetParam();
+  layout::Matrix a = layout::Matrix::random(m, n, 23);
+  layout::Matrix a0 = a;
+  std::vector<int> ipiv(std::min(m, n));
+  EXPECT_EQ(blas::getrf_recursive(m, n, a.data(), a.ld(), ipiv.data()), 0);
+  EXPECT_LT(blas::lu_residual(m, n, a0.data(), a0.ld(), a.data(), a.ld(),
+                              ipiv.data(), static_cast<int>(ipiv.size())),
+            50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LuSizeTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{7, 7},
+                      std::pair{16, 16}, std::pair{33, 33},
+                      std::pair{100, 100}, std::pair{130, 100},
+                      std::pair{100, 60}, std::pair{257, 64},
+                      std::pair{64, 257}, std::pair{129, 129}));
+
+TEST(Getf2, SingularReportsInfo) {
+  layout::Matrix a(3, 3);  // all zeros
+  int ipiv[3];
+  EXPECT_GT(blas::getf2(3, 3, a.data(), a.ld(), ipiv), 0);
+}
+
+TEST(Getf2, PivotsPickLargestMagnitude) {
+  layout::Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 0) = -5.0;
+  a(2, 0) = 3.0;
+  a(0, 1) = a(1, 1) = a(2, 1) = 1.0;
+  a(0, 2) = a(1, 2) = a(2, 2) = 2.0;
+  int ipiv[3];
+  blas::getf2(3, 3, a.data(), a.ld(), ipiv);
+  EXPECT_EQ(ipiv[0], 1);  // row 1 has the largest first-column entry
+}
+
+TEST(GetrfNopiv, FactorsDominantMatrix) {
+  const int n = 75;
+  layout::Matrix a = layout::Matrix::diag_dominant(n, 31);
+  layout::Matrix a0 = a;
+  EXPECT_EQ(blas::getrf_nopiv(n, n, a.data(), a.ld()), 0);
+  std::vector<int> noswap(n);
+  for (int i = 0; i < n; ++i) noswap[i] = i;
+  EXPECT_LT(blas::lu_residual(n, n, a0.data(), a0.ld(), a.data(), a.ld(),
+                              noswap.data(), n),
+            50.0);
+}
+
+TEST(GetrfNopiv, WideAndTall) {
+  for (auto [m, n] : {std::pair{40, 90}, std::pair{90, 40}}) {
+    layout::Matrix a = layout::Matrix::random(m, n, 33);
+    // Boost the leading principal minors.
+    for (int i = 0; i < std::min(m, n); ++i) a(i, i) += 10.0;
+    layout::Matrix a0 = a;
+    EXPECT_EQ(blas::getrf_nopiv(m, n, a.data(), a.ld()), 0);
+    std::vector<int> noswap(std::min(m, n));
+    for (int i = 0; i < std::min(m, n); ++i) noswap[i] = i;
+    EXPECT_LT(blas::lu_residual(m, n, a0.data(), a0.ld(), a.data(), a.ld(),
+                                noswap.data(), std::min(m, n)),
+              50.0);
+  }
+}
+
+// --------------------------------------------------------------- Norms ---
+
+TEST(Norms, KnownValues) {
+  layout::Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = -2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(blas::norm_inf(2, 2, a.data(), 2), 7.0);   // row 1
+  EXPECT_DOUBLE_EQ(blas::norm_one(2, 2, a.data(), 2), 6.0);   // col 1
+  EXPECT_DOUBLE_EQ(blas::norm_max(2, 2, a.data(), 2), 4.0);
+  EXPECT_DOUBLE_EQ(blas::norm_fro(2, 2, a.data(), 2), std::sqrt(30.0));
+}
+
+TEST(Norms, EmptyMatrix) {
+  EXPECT_EQ(blas::norm_inf(0, 0, nullptr, 1), 0.0);
+  EXPECT_EQ(blas::norm_max(0, 5, nullptr, 1), 0.0);
+}
+
+TEST(GrowthFactor, WilkinsonGrowsUnderPartialPivoting) {
+  const int n = 20;
+  layout::Matrix a = layout::Matrix::wilkinson(n);
+  layout::Matrix a0 = a;
+  std::vector<int> ipiv(n);
+  blas::getf2(n, n, a.data(), a.ld(), ipiv.data());
+  // GEPP growth on the Wilkinson matrix is 2^{n-1}.
+  EXPECT_NEAR(blas::growth_factor(n, n, a0.data(), a0.ld(), a.data(), a.ld()),
+              std::pow(2.0, n - 1), 1e-6 * std::pow(2.0, n - 1));
+}
+
+}  // namespace
+}  // namespace calu

@@ -1,0 +1,386 @@
+// calu_test.cpp — end-to-end CALU factorization across the whole design
+// space (Table 1): schedule x layout x shape x threads x dratio.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/blas/blas.h"
+#include "src/core/calu.h"
+#include "src/core/calu_dag.h"
+#include "src/core/solve.h"
+#include "src/layout/matrix.h"
+#include "tests/test_util.h"
+
+namespace calu {
+namespace {
+
+using core::Factorization;
+using core::Options;
+using core::Schedule;
+using layout::Layout;
+using layout::Matrix;
+
+double factor_and_residual(int m, int n, const Options& opt,
+                           std::uint64_t seed, Factorization* out = nullptr,
+                           Matrix* lu_out = nullptr) {
+  Matrix a = Matrix::random(m, n, seed);
+  Matrix a0 = a;
+  Factorization f = core::getrf(a, opt);
+  const double res = blas::lu_residual(
+      m, n, a0.data(), a0.ld(), a.data(), a.ld(), f.ipiv.data(),
+      static_cast<int>(f.ipiv.size()));
+  if (out) *out = std::move(f);
+  if (lu_out) *lu_out = std::move(a);
+  return res;
+}
+
+// ------------------------------------------------------------ the sweep ---
+
+struct CaluCase {
+  Schedule sched;
+  Layout layout;
+  int m, n, b, threads;
+  double dratio;
+};
+
+std::string case_name(const ::testing::TestParamInfo<CaluCase>& info) {
+  const CaluCase& c = info.param;
+  std::string s = core::schedule_name(c.sched);
+  s += std::string("_") + layout::layout_name(c.layout) + "_m" +
+       std::to_string(c.m) + "n" + std::to_string(c.n) + "b" +
+       std::to_string(c.b) + "t" + std::to_string(c.threads) + "d" +
+       std::to_string(static_cast<int>(c.dratio * 100));
+  for (auto& ch : s)
+    if (ch == '-') ch = '_';
+  return s;
+}
+
+class CaluSweep : public ::testing::TestWithParam<CaluCase> {};
+
+TEST_P(CaluSweep, ResidualBounded) {
+  const CaluCase& c = GetParam();
+  Options opt;
+  opt.schedule = c.sched;
+  opt.layout = c.layout;
+  opt.b = c.b;
+  opt.threads = c.threads;
+  opt.dratio = c.dratio;
+  opt.pin_threads = false;  // CI-friendly
+  Factorization f;
+  const double res = factor_and_residual(c.m, c.n, opt, 1234, &f);
+  EXPECT_LT(res, 200.0);
+  EXPECT_EQ(static_cast<int>(f.ipiv.size()), std::min(c.m, c.n));
+  EXPECT_GT(f.stats.tasks, 0);
+  EXPECT_EQ(f.stats.npanels,
+            (std::min(c.m, c.n) + c.b - 1) / c.b);
+}
+
+std::vector<CaluCase> sweep_cases() {
+  std::vector<CaluCase> cases;
+  const std::vector<Schedule> scheds = {Schedule::Static, Schedule::Dynamic,
+                                        Schedule::Hybrid,
+                                        Schedule::WorkStealing};
+  const std::vector<Layout> layouts = {Layout::BlockCyclic,
+                                       Layout::TwoLevelBlock,
+                                       Layout::ColumnMajor};
+  // Square, odd-sized square, tall-skinny, wide.
+  const std::vector<std::tuple<int, int, int>> shapes = {
+      {96, 96, 16}, {100, 100, 16}, {150, 60, 16}, {60, 150, 16},
+      {64, 64, 64},                       // single panel
+      {37, 37, 10},                       // everything partial
+  };
+  for (Schedule s : scheds)
+    for (Layout l : layouts)
+      for (auto [m, n, b] : shapes)
+        cases.push_back({s, l, m, n, b, 4, 0.2});
+  // Thread-count and dratio variations on one shape.
+  for (int t : {1, 2, 3, 8})
+    cases.push_back({Schedule::Hybrid, Layout::BlockCyclic, 128, 128, 16, t,
+                     0.25});
+  for (double d : {0.0, 0.1, 0.5, 0.75, 1.0})
+    cases.push_back({Schedule::Hybrid, Layout::TwoLevelBlock, 120, 120, 16,
+                     4, d});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, CaluSweep,
+                         ::testing::ValuesIn(sweep_cases()), case_name);
+
+// -------------------------------------------------------- determinism ---
+
+TEST(CaluDeterminism, SchedulesProduceIdenticalFactors) {
+  // The tournament shape is fixed by (grid, b), so every schedule must
+  // produce bit-identical pivots and factors.
+  const int n = 120, b = 16;
+  Options base;
+  base.b = b;
+  base.threads = 4;
+  base.pin_threads = false;
+  base.layout = Layout::BlockCyclic;
+
+  Factorization fs, fd, fh, fw;
+  Matrix ls, ld, lh, lw;
+  Options o = base;
+  o.schedule = Schedule::Static;
+  factor_and_residual(n, n, o, 55, &fs, &ls);
+  o.schedule = Schedule::Dynamic;
+  factor_and_residual(n, n, o, 55, &fd, &ld);
+  o.schedule = Schedule::Hybrid;
+  o.dratio = 0.3;
+  factor_and_residual(n, n, o, 55, &fh, &lh);
+  o.schedule = Schedule::WorkStealing;
+  factor_and_residual(n, n, o, 55, &fw, &lw);
+
+  EXPECT_EQ(fs.ipiv, fd.ipiv);
+  EXPECT_EQ(fs.ipiv, fh.ipiv);
+  EXPECT_EQ(fs.ipiv, fw.ipiv);
+  EXPECT_EQ(test::max_abs_diff(ls, ld), 0.0);
+  EXPECT_EQ(test::max_abs_diff(ls, lh), 0.0);
+  EXPECT_EQ(test::max_abs_diff(ls, lw), 0.0);
+}
+
+TEST(CaluDeterminism, LayoutsProduceIdenticalFactors) {
+  const int n = 110, b = 16;
+  Options base;
+  base.b = b;
+  base.threads = 4;
+  base.pin_threads = false;
+  base.schedule = Schedule::Hybrid;
+
+  Factorization f1, f2, f3;
+  Matrix l1, l2, l3;
+  Options o = base;
+  o.layout = Layout::BlockCyclic;
+  factor_and_residual(n, n, o, 56, &f1, &l1);
+  o.layout = Layout::TwoLevelBlock;
+  factor_and_residual(n, n, o, 56, &f2, &l2);
+  o.layout = Layout::ColumnMajor;
+  factor_and_residual(n, n, o, 56, &f3, &l3);
+  EXPECT_EQ(f1.ipiv, f2.ipiv);
+  EXPECT_EQ(f1.ipiv, f3.ipiv);
+  EXPECT_EQ(test::max_abs_diff(l1, l2), 0.0);
+  EXPECT_EQ(test::max_abs_diff(l1, l3), 0.0);
+}
+
+TEST(CaluDeterminism, GroupFactorDoesNotChangeResults) {
+  const int n = 130, b = 16;
+  Options o;
+  o.b = b;
+  o.threads = 4;
+  o.pin_threads = false;
+  o.layout = Layout::BlockCyclic;
+  Factorization f1, f3;
+  Matrix l1, l3;
+  o.group_factor = 1;
+  factor_and_residual(n, n, o, 57, &f1, &l1);
+  o.group_factor = 3;
+  factor_and_residual(n, n, o, 57, &f3, &l3);
+  EXPECT_EQ(f1.ipiv, f3.ipiv);
+  EXPECT_EQ(test::max_abs_diff(l1, l3), 0.0);
+}
+
+TEST(CaluDeterminism, RepeatedRunsIdentical) {
+  const int n = 100;
+  Options o;
+  o.b = 16;
+  o.threads = 8;
+  o.pin_threads = false;
+  Factorization f1, f2;
+  Matrix l1, l2;
+  factor_and_residual(n, n, o, 58, &f1, &l1);
+  factor_and_residual(n, n, o, 58, &f2, &l2);
+  EXPECT_EQ(f1.ipiv, f2.ipiv);
+  EXPECT_EQ(test::max_abs_diff(l1, l2), 0.0);
+}
+
+// --------------------------------------------------- special matrices ---
+
+TEST(CaluSpecial, Identity) {
+  const int n = 64;
+  Matrix a = Matrix::identity(n);
+  Options o;
+  o.b = 16;
+  o.threads = 2;
+  o.pin_threads = false;
+  Factorization f = core::getrf(a, o);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(f.ipiv[i], i);
+    EXPECT_EQ(a(i, i), 1.0);
+  }
+}
+
+TEST(CaluSpecial, DiagonallyDominantNeedsNoSwaps) {
+  const int n = 80;
+  Matrix a = Matrix::diag_dominant(n, 3);
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pin_threads = false;
+  Factorization f = core::getrf(a, o);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(f.ipiv[i], i);
+}
+
+TEST(CaluSpecial, Wilkinson) {
+  const int n = 32;
+  Matrix a = Matrix::wilkinson(n);
+  Matrix a0 = a;
+  Options o;
+  o.b = 8;
+  o.threads = 4;
+  o.pin_threads = false;
+  Factorization f = core::getrf(a, o);
+  const double res = blas::lu_residual(n, n, a0.data(), a0.ld(), a.data(),
+                                       a.ld(), f.ipiv.data(), n);
+  EXPECT_LT(res, 1e9);  // growth-inflated but finite
+}
+
+TEST(CaluSpecial, SinglePanelMatrix) {
+  // b >= n: the whole matrix is one panel; CALU == TSLU.
+  Options o;
+  o.b = 64;
+  o.threads = 4;
+  o.pin_threads = false;
+  EXPECT_LT(factor_and_residual(40, 40, o, 60), 100.0);
+}
+
+TEST(CaluSpecial, BlockSizeOne) {
+  Options o;
+  o.b = 1;
+  o.threads = 2;
+  o.pin_threads = false;
+  EXPECT_LT(factor_and_residual(24, 24, o, 61), 100.0);
+}
+
+TEST(CaluSpecial, VeryTallPanelMatrix) {
+  // The shape CALU was designed for (tall and skinny).
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pin_threads = false;
+  EXPECT_LT(factor_and_residual(512, 32, o, 62), 100.0);
+}
+
+// ------------------------------------------------------------- noise ---
+
+TEST(CaluNoise, CorrectUnderInjectedNoise) {
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pin_threads = false;
+  o.noise.prob = 0.3;
+  o.noise.mean_us = 50.0;
+  o.noise.jitter_us = 20.0;
+  Factorization f;
+  EXPECT_LT(factor_and_residual(128, 128, o, 63, &f), 200.0);
+  EXPECT_GT(f.stats.noise_delta_max, 0.0);
+  EXPECT_GE(f.stats.noise_delta_max, f.stats.noise_delta_avg);
+}
+
+TEST(CaluNoise, NoiseDoesNotChangeNumerics) {
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pin_threads = false;
+  Factorization f1, f2;
+  Matrix l1, l2;
+  factor_and_residual(96, 96, o, 64, &f1, &l1);
+  o.noise.prob = 0.5;
+  o.noise.mean_us = 30.0;
+  factor_and_residual(96, 96, o, 64, &f2, &l2);
+  EXPECT_EQ(f1.ipiv, f2.ipiv);
+  EXPECT_EQ(test::max_abs_diff(l1, l2), 0.0);
+}
+
+// --------------------------------------------------------- plan/DAG ---
+
+TEST(CaluPlan, StaticDynamicSplitFollowsDratio) {
+  layout::Tiling t{400, 400, 40};  // 10 panels
+  layout::Grid g{2, 2};
+  auto plan = core::build_plan(t, g, Layout::BlockCyclic, 0.3, 3);
+  EXPECT_EQ(plan.npanels, 10);
+  EXPECT_EQ(plan.nstatic, 7);
+  auto plan0 = core::build_plan(t, g, Layout::BlockCyclic, 0.0, 3);
+  EXPECT_EQ(plan0.nstatic, 10);
+  auto plan1 = core::build_plan(t, g, Layout::BlockCyclic, 1.0, 3);
+  EXPECT_EQ(plan1.nstatic, 0);
+}
+
+TEST(CaluPlan, OwnersMatchSplit) {
+  layout::Tiling t{200, 200, 20};  // 10 panels
+  layout::Grid g{2, 2};
+  auto plan = core::build_plan(t, g, Layout::BlockCyclic, 0.5, 1);
+  for (int id = 0; id < plan.graph.num_tasks(); ++id) {
+    const sched::Task& task = plan.graph.task(id);
+    const int col = task.j;
+    if (col < plan.nstatic)
+      EXPECT_GE(task.owner, 0) << "task " << id;
+    else
+      EXPECT_EQ(task.owner, sched::kDynamicOwner) << "task " << id;
+  }
+}
+
+TEST(CaluPlan, GroupingReducesTaskCount) {
+  layout::Tiling t{600, 600, 20};
+  layout::Grid g{3, 2};
+  auto grouped = core::build_plan(t, g, Layout::BlockCyclic, 0.0, 3);
+  auto single = core::build_plan(t, g, Layout::BlockCyclic, 0.0, 1);
+  EXPECT_LT(grouped.graph.num_tasks(), single.graph.num_tasks());
+  auto two_level = core::build_plan(t, g, Layout::TwoLevelBlock, 0.0, 3);
+  EXPECT_EQ(two_level.graph.num_tasks(), single.graph.num_tasks());
+}
+
+TEST(CaluPlan, DotExportContainsTasks) {
+  layout::Tiling t{64, 64, 16};  // 4x4 tiles, the paper's Figure 3 example
+  layout::Grid g{2, 2};
+  auto plan = core::build_plan(t, g, Layout::BlockCyclic, 0.25, 1);
+  const std::string dot = core::plan_to_dot(plan);
+  EXPECT_NE(dot.find("digraph calu"), std::string::npos);
+  EXPECT_NE(dot.find("(static)"), std::string::npos);
+  EXPECT_NE(dot.find("(dynamic)"), std::string::npos);
+}
+
+// ---------------------------------------------------------- tracing ---
+
+TEST(CaluTrace, RecorderCapturesAllTaskKinds) {
+  trace::Recorder rec;
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pin_threads = false;
+  o.recorder = &rec;
+  Matrix a = Matrix::random(128, 128, 65);
+  core::getrf(a, o);
+  EXPECT_EQ(rec.threads(), 4);
+  bool saw[4] = {false, false, false, false};
+  int total = 0;
+  for (int t = 0; t < rec.threads(); ++t)
+    for (const auto& e : rec.thread_events(t)) {
+      ++total;
+      if (e.kind == trace::Kind::P) saw[0] = true;
+      if (e.kind == trace::Kind::L) saw[1] = true;
+      if (e.kind == trace::Kind::U) saw[2] = true;
+      if (e.kind == trace::Kind::S) saw[3] = true;
+      EXPECT_LE(e.t0, e.t1);
+    }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2] && saw[3]);
+  EXPECT_GT(total, 0);
+  EXPECT_GT(rec.makespan(), 0.0);
+}
+
+// ------------------------------------------------------------ solve ---
+
+TEST(CaluSolve, GesvSmallResidual) {
+  const int n = 100;
+  Matrix a = Matrix::random(n, n, 66);
+  Matrix b = Matrix::random(n, 3, 67);
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pin_threads = false;
+  auto res = core::gesv(a, b, o);
+  EXPECT_LT(res.residual, 1e-13);
+}
+
+}  // namespace
+}  // namespace calu

@@ -1,0 +1,142 @@
+// model_test.cpp — Theorem 1 and the LU cost model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/model/lu_cost.h"
+#include "src/model/theorem1.h"
+
+namespace calu {
+namespace {
+
+using model::ModelParams;
+
+TEST(Theorem1, NoNoiseAllowsFullyStatic) {
+  ModelParams m;
+  m.t1 = 100.0;
+  m.p = 10;
+  EXPECT_DOUBLE_EQ(model::max_static_fraction(m), 1.0);
+  EXPECT_DOUBLE_EQ(model::min_dynamic_fraction(m), 0.0);
+}
+
+TEST(Theorem1, UniformNoiseAllowsFullyStatic) {
+  // δmax == δavg: every core slowed identically, nothing to rebalance.
+  ModelParams m;
+  m.t1 = 100.0;
+  m.p = 10;
+  m.delta_max = m.delta_avg = 3.0;
+  EXPECT_DOUBLE_EQ(model::max_static_fraction(m), 1.0);
+}
+
+TEST(Theorem1, BoundFormula) {
+  ModelParams m;
+  m.t1 = 100.0;
+  m.p = 10;       // Tp = 10
+  m.delta_max = 3.0;
+  m.delta_avg = 1.0;
+  // fs <= 1 - (3-1)/10 = 0.8.
+  EXPECT_NEAR(model::max_static_fraction(m), 0.8, 1e-12);
+  EXPECT_NEAR(model::min_dynamic_fraction(m), 0.2, 1e-12);
+}
+
+TEST(Theorem1, ClampsToZeroUnderExtremeNoise) {
+  ModelParams m;
+  m.t1 = 10.0;
+  m.p = 10;       // Tp = 1
+  m.delta_max = 5.0;
+  m.delta_avg = 0.0;
+  EXPECT_DOUBLE_EQ(model::max_static_fraction(m), 0.0);
+}
+
+TEST(Theorem1, AtTheBoundStaticTimeEqualsIdealTime) {
+  // The proof's breakpoint: tactual(fs*) == tideal.
+  ModelParams m;
+  m.t1 = 200.0;
+  m.p = 8;
+  m.delta_max = 4.0;
+  m.delta_avg = 1.5;
+  const double fs = model::max_static_fraction(m);
+  EXPECT_NEAR(model::static_time(m, fs), model::ideal_time(m), 1e-9);
+  // Below the bound, static time is better than the worst case at fs.
+  EXPECT_LT(model::static_time(m, fs * 0.9), model::ideal_time(m));
+}
+
+TEST(Theorem1, LargerT1AllowsLargerStaticFraction) {
+  // Section 6: "increasing matrix size allows us to increase the maximum
+  // static fraction".
+  ModelParams small, big;
+  small.t1 = 50.0;
+  big.t1 = 500.0;
+  small.p = big.p = 16;
+  small.delta_max = big.delta_max = 2.0;
+  small.delta_avg = big.delta_avg = 0.5;
+  EXPECT_GT(model::max_static_fraction(big),
+            model::max_static_fraction(small));
+}
+
+TEST(Theorem1, OverheadTermsIncreaseTpAndStaticFraction) {
+  // Adding TcriticalPath / Tmigration / Toverhead to the denominator
+  // (Section 6's extension) raises the tolerable static fraction.
+  ModelParams base;
+  base.t1 = 100.0;
+  base.p = 10;
+  base.delta_max = 3.0;
+  base.delta_avg = 1.0;
+  ModelParams ext = base;
+  ext.t_critical = 5.0;
+  ext.t_migration = 2.0;
+  ext.t_overhead = 3.0;
+  EXPECT_GT(model::parallel_time(ext), model::parallel_time(base));
+  EXPECT_GT(model::max_static_fraction(ext),
+            model::max_static_fraction(base));
+}
+
+TEST(Projection, MinDynamicGrowsWithScale) {
+  // Section 7: with constant work per core and noise amplification, the
+  // minimum dynamic fraction must increase with p.
+  auto pts = model::project_min_dynamic(1.0, 0.01, 16, 0.5,
+                                        {16, 64, 256, 1024, 4096});
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].min_dynamic, pts[i - 1].min_dynamic);
+    EXPECT_GT(pts[i].delta_spread, pts[i - 1].delta_spread);
+  }
+}
+
+TEST(Projection, NoAmplificationKeepsDynamicFlat) {
+  auto pts = model::project_min_dynamic(1.0, 0.01, 16, 0.0, {16, 1024});
+  EXPECT_NEAR(pts[0].min_dynamic, pts[1].min_dynamic, 1e-12);
+}
+
+// ------------------------------------------------------------ lu_cost ---
+
+TEST(LuCost, SquareMatchesTwoThirdsCube) {
+  const double n = 1000;
+  EXPECT_NEAR(model::lu_flops(n, n), 2.0 / 3.0 * n * n * n, 0.01 * n * n * n);
+}
+
+TEST(LuCost, RectangularReducesToFormula) {
+  // m x n with m >= n: 2*(m*n*n/... ) — check against direct summation.
+  const int m = 60, n = 40;
+  double direct = 0.0;
+  for (int j = 0; j < n; ++j)
+    direct += 2.0 * (m - j - 1) * (n - j - 1) + (m - j - 1);
+  const double formula = model::lu_flops(m, n);
+  EXPECT_NEAR(formula, direct, 0.05 * direct);
+}
+
+TEST(LuCost, GflopsHelper) {
+  EXPECT_DOUBLE_EQ(model::gflops(2e9, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(model::gflops(1e9, 0.0), 0.0);
+}
+
+TEST(LuCost, CriticalPathSmallerThanTotal) {
+  const int mb = 20, nb = 20, b = 100;
+  const double cp = model::calu_critical_path_flops(mb, nb, b);
+  const double total = model::lu_flops(mb * b, nb * b);
+  EXPECT_GT(cp, 0.0);
+  EXPECT_LT(cp, total);
+}
+
+}  // namespace
+}  // namespace calu

@@ -1,0 +1,392 @@
+// sched_test.cpp — thread team, queues, and the DAG executors on synthetic
+// graphs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "src/noise/noise.h"
+#include "src/sched/dag.h"
+#include "src/sched/engine.h"
+#include "src/sched/task_queue.h"
+#include "src/sched/thread_team.h"
+
+namespace calu {
+namespace {
+
+using sched::kDynamicOwner;
+using sched::PriorityTaskQueue;
+using sched::StealDeque;
+using sched::Task;
+using sched::TaskGraph;
+using sched::ThreadTeam;
+
+// ------------------------------------------------------------- team ---
+
+TEST(ThreadTeam, RunsOnAllThreads) {
+  ThreadTeam team(4, /*pin=*/false);
+  std::atomic<int> mask{0};
+  team.run([&](int tid) { mask.fetch_or(1 << tid); });
+  EXPECT_EQ(mask.load(), 0b1111);
+}
+
+TEST(ThreadTeam, SingleThreadWorks) {
+  ThreadTeam team(1, false);
+  int x = 0;
+  team.run([&](int) { ++x; });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadTeam, RepeatedRegions) {
+  ThreadTeam team(3, false);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) team.run([&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadTeam, ParallelForCoversRange) {
+  ThreadTeam team(5, false);
+  std::vector<std::atomic<int>> hits(137);
+  team.parallel_for(137, [&](int i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, ParallelForEmptyAndSmall) {
+  ThreadTeam team(4, false);
+  team.parallel_for(0, [&](int) { FAIL(); });
+  std::atomic<int> n{0};
+  team.parallel_for(2, [&](int) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 2);
+}
+
+// ------------------------------------------------------------ queues ---
+
+TEST(PriorityTaskQueue, PopsInKeyOrder) {
+  PriorityTaskQueue q;
+  q.push(30, 3);
+  q.push(10, 1);
+  q.push(20, 2);
+  int t;
+  ASSERT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t, 1);
+  ASSERT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t, 2);
+  ASSERT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t, 3);
+  EXPECT_FALSE(q.try_pop(t));
+}
+
+TEST(PriorityTaskQueue, SizeAndEmpty) {
+  PriorityTaskQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(1, 0);
+  q.push(2, 1);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(StealDeque, LifoOwnerFifoThief) {
+  StealDeque d;
+  d.push_bottom(1);
+  d.push_bottom(2);
+  d.push_bottom(3);
+  int t;
+  ASSERT_TRUE(d.steal_top(t));
+  EXPECT_EQ(t, 1);  // thief takes oldest
+  ASSERT_TRUE(d.pop_bottom(t));
+  EXPECT_EQ(t, 3);  // owner takes newest
+  ASSERT_TRUE(d.pop_bottom(t));
+  EXPECT_EQ(t, 2);
+  EXPECT_FALSE(d.pop_bottom(t));
+  EXPECT_FALSE(d.steal_top(t));
+}
+
+// --------------------------------------------------------- TaskGraph ---
+
+TEST(TaskGraph, CsrSuccessors) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) g.add_task(Task{});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.finalize();
+  EXPECT_EQ(g.num_tasks(), 4);
+  EXPECT_EQ(g.num_edges(), 0);  // edges consumed into CSR
+  auto s0 = g.successors(0);
+  EXPECT_EQ(s0.size(), 2u);
+  EXPECT_EQ(g.initial_deps(0), 0);
+  EXPECT_EQ(g.initial_deps(3), 2);
+}
+
+// ------------------------------------------- executors on synthetic DAGs
+
+struct ExecLog {
+  std::vector<std::atomic<int>> order;  // completion stamp per task
+  std::atomic<int> counter{0};
+  explicit ExecLog(int n) : order(n) {
+    for (auto& o : order) o.store(-1);
+  }
+  void mark(int id) { order[id].store(counter.fetch_add(1)); }
+};
+
+// Builds a random DAG with edges only from lower to higher ids.
+TaskGraph random_dag(int n, double edge_prob, std::uint64_t seed,
+                     int owners) {
+  TaskGraph g;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.priority = static_cast<std::uint64_t>(i);
+    t.owner = owners > 0 ? static_cast<int>(rng() % (owners + 1)) - 1
+                         : kDynamicOwner;  // mix of owned and dynamic
+    g.add_task(t);
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (u(rng) < edge_prob) g.add_edge(i, j);
+  g.finalize();
+  return g;
+}
+
+void check_topological(const TaskGraph& g, const ExecLog& log) {
+  for (int i = 0; i < g.num_tasks(); ++i) {
+    ASSERT_GE(log.order[i].load(), 0) << "task " << i << " never ran";
+    for (int s : g.successors(i))
+      EXPECT_LT(log.order[i].load(), log.order[s].load())
+          << "edge " << i << "->" << s << " violated";
+  }
+}
+
+class ExecutorTest : public ::testing::TestWithParam<int> {};  // threads
+
+TEST_P(ExecutorTest, OwnerQueuesRunsAllOnce) {
+  const int p = GetParam();
+  ThreadTeam team(p, false);
+  TaskGraph g = random_dag(500, 0.02, 99, p);
+  ExecLog log(g.num_tasks());
+  auto st = sched::run_owner_queues(team, g,
+                                    [&](int id, int) { log.mark(id); });
+  EXPECT_EQ(log.counter.load(), g.num_tasks());
+  EXPECT_EQ(st.static_pops + st.dynamic_pops,
+            static_cast<std::uint64_t>(g.num_tasks()));
+  check_topological(g, log);
+}
+
+TEST_P(ExecutorTest, WorkStealingRunsAllOnce) {
+  const int p = GetParam();
+  ThreadTeam team(p, false);
+  TaskGraph g = random_dag(500, 0.02, 100, p);
+  ExecLog log(g.num_tasks());
+  auto st = sched::run_work_stealing(team, g,
+                                     [&](int id, int) { log.mark(id); });
+  EXPECT_EQ(log.counter.load(), g.num_tasks());
+  EXPECT_EQ(st.static_pops + st.steals,
+            static_cast<std::uint64_t>(g.num_tasks()));
+  check_topological(g, log);
+}
+
+TEST_P(ExecutorTest, LongChainCompletes) {
+  // Serial chain: worst case for parallel executors, exercises idle paths.
+  const int p = GetParam();
+  ThreadTeam team(p, false);
+  TaskGraph g;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.owner = i % 2 == 0 ? (i / 2) % p : kDynamicOwner;
+    g.add_task(t);
+  }
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  g.finalize();
+  ExecLog log(n);
+  sched::run_owner_queues(team, g, [&](int id, int) { log.mark(id); });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(log.order[i].load(), i);
+}
+
+TEST_P(ExecutorTest, WideFanOutFanIn) {
+  const int p = GetParam();
+  ThreadTeam team(p, false);
+  TaskGraph g;
+  const int width = 300;
+  g.add_task(Task{});  // source
+  for (int i = 0; i < width; ++i) g.add_task(Task{});
+  g.add_task(Task{});  // sink
+  for (int i = 1; i <= width; ++i) {
+    g.add_edge(0, i);
+    g.add_edge(i, width + 1);
+  }
+  g.finalize();
+  ExecLog log(g.num_tasks());
+  sched::run_owner_queues(team, g, [&](int id, int) { log.mark(id); });
+  EXPECT_EQ(log.order[0].load(), 0);
+  EXPECT_EQ(log.order[width + 1].load(), width + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ExecutorTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Executor, StressManyTasksManyThreads) {
+  ThreadTeam team(8, false);
+  TaskGraph g = random_dag(5000, 0.002, 101, 8);
+  std::atomic<int> ran{0};
+  sched::run_owner_queues(team, g, [&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 5000);
+}
+
+TEST(Executor, EmptyGraph) {
+  ThreadTeam team(4, false);
+  TaskGraph g;
+  g.finalize();
+  auto st = sched::run_owner_queues(team, g, [&](int, int) { FAIL(); });
+  EXPECT_EQ(st.static_pops + st.dynamic_pops, 0u);
+}
+
+TEST(Executor, StaticTasksServedByTheirOwner) {
+  // With all tasks owned and no dependencies, every task must be executed
+  // by its owner thread (no stealing in the owner-queues engine's static
+  // part).
+  const int p = 4;
+  ThreadTeam team(p, false);
+  TaskGraph g;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.owner = i % p;
+    t.priority = static_cast<std::uint64_t>(i);
+    g.add_task(t);
+  }
+  g.finalize();
+  std::vector<std::atomic<int>> ran_by(n);
+  sched::run_owner_queues(team, g,
+                          [&](int id, int tid) { ran_by[id].store(tid); });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(ran_by[i].load(), i % p);
+}
+
+TEST(Executor, DynamicTasksCanRunAnywhere) {
+  ThreadTeam team(4, false);
+  TaskGraph g;
+  for (int i = 0; i < 1000; ++i) g.add_task(Task{});  // all dynamic
+  g.finalize();
+  std::set<int> tids;
+  std::mutex mu;
+  sched::run_owner_queues(team, g, [&](int, int tid) {
+    noise::burn(1e-5);
+    std::lock_guard lk(mu);
+    tids.insert(tid);
+  });
+  EXPECT_GT(tids.size(), 1u);  // load got shared
+}
+
+TEST(Executor, GlobalQueueFollowsPriorityOrder) {
+  // Single thread, all-dynamic, no deps: strict priority order expected.
+  ThreadTeam team(1, false);
+  TaskGraph g;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.priority = static_cast<std::uint64_t>(n - i);  // reversed
+    g.add_task(t);
+  }
+  g.finalize();
+  std::vector<int> order;
+  sched::run_owner_queues(team, g,
+                          [&](int id, int) { order.push_back(id); });
+  for (int i = 0; i + 1 < n; ++i)
+    EXPECT_GT(g.task(order[i]).priority, 0u);
+  // Reversed priorities => tasks pop in reverse id order.
+  for (int i = 0; i < n; ++i) EXPECT_EQ(order[i], n - 1 - i);
+}
+
+TEST(Executor, LocalityTagsServeOwnBucketFirst) {
+  // All-dynamic tasks tagged per thread; with locality_tags on and no
+  // dependencies, each thread must drain its own tag's bucket (tasks are
+  // plentiful, so no thread needs to poach).
+  const int p = 4;
+  ThreadTeam team(p, false);
+  TaskGraph g;
+  const int n = 800;
+  for (int i = 0; i < n; ++i) {
+    Task t;
+    t.tag = i % p;
+    t.priority = static_cast<std::uint64_t>(i);
+    g.add_task(t);
+  }
+  g.finalize();
+  std::vector<std::atomic<int>> ran_by(n);
+  sched::RunHooks hooks;
+  hooks.locality_tags = true;
+  sched::run_owner_queues(
+      team, g,
+      [&](int id, int tid) {
+        noise::burn(2e-5);  // keep every thread busy long enough
+        ran_by[id].store(tid);
+      },
+      hooks);
+  int matches = 0;
+  for (int i = 0; i < n; ++i)
+    if (ran_by[i].load() == g.task(i).tag) ++matches;
+  // The vast majority should run on their tag's thread (poaching only at
+  // the very end of a bucket).
+  EXPECT_GT(matches, n * 3 / 4);
+}
+
+TEST(Executor, LocalityTagsCompleteWithSkewedTags) {
+  // All tasks tagged to thread 0: other threads must still finish the work
+  // by falling back round-robin (no starvation/deadlock).
+  ThreadTeam team(4, false);
+  TaskGraph g;
+  for (int i = 0; i < 200; ++i) {
+    Task t;
+    t.tag = 0;
+    g.add_task(t);
+  }
+  g.finalize();
+  std::atomic<int> ran{0};
+  sched::RunHooks hooks;
+  hooks.locality_tags = true;
+  sched::run_owner_queues(team, g, [&](int, int) { ran.fetch_add(1); },
+                          hooks);
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(Executor, UntaggedTasksStillRunUnderLocalityPolicy) {
+  ThreadTeam team(3, false);
+  TaskGraph g;
+  for (int i = 0; i < 100; ++i) g.add_task(Task{});  // tag = -1
+  g.finalize();
+  std::atomic<int> ran{0};
+  sched::RunHooks hooks;
+  hooks.locality_tags = true;
+  sched::run_owner_queues(team, g, [&](int, int) { ran.fetch_add(1); },
+                          hooks);
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Executor, HooksReceiveNoiseAndTrace) {
+  ThreadTeam team(2, false);
+  TaskGraph g;
+  for (int i = 0; i < 20; ++i) g.add_task(Task{});
+  g.finalize();
+  trace::Recorder rec;
+  noise::NoiseSpec spec;
+  spec.prob = 1.0;
+  spec.mean_us = 1.0;
+  noise::Injector inj(spec, 2);
+  sched::RunHooks hooks;
+  hooks.recorder = &rec;
+  hooks.injector = &inj;
+  sched::run_owner_queues(team, g, [](int, int) {}, hooks);
+  EXPECT_GT(inj.delta_max(), 0.0);
+  int events = 0;
+  for (int t = 0; t < rec.threads(); ++t)
+    events += static_cast<int>(rec.thread_events(t).size());
+  EXPECT_EQ(events, 20);
+}
+
+}  // namespace
+}  // namespace calu

@@ -1,0 +1,114 @@
+// solve_test.cpp — getrs, residual metric, gesv with refinement.
+#include <gtest/gtest.h>
+
+#include "src/blas/blas.h"
+#include "src/core/calu.h"
+#include "src/core/solve.h"
+#include "src/layout/matrix.h"
+#include "tests/test_util.h"
+
+namespace calu {
+namespace {
+
+using core::Options;
+using layout::Matrix;
+
+Options small_opts() {
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pin_threads = false;
+  return o;
+}
+
+TEST(Getrs, RecoversKnownSolution) {
+  const int n = 64;
+  Matrix a = Matrix::random(n, n, 301);
+  Matrix x_true = Matrix::random(n, 4, 302);
+  Matrix b(n, 4);
+  blas::gemm(blas::Trans::No, blas::Trans::No, n, 4, n, 1.0, a.data(), a.ld(),
+             x_true.data(), x_true.ld(), 0.0, b.data(), b.ld());
+  auto f = core::getrf(a, small_opts());  // a := [L\U]
+  core::getrs(a, f.ipiv, b);
+  EXPECT_LT(test::max_abs_diff(b, x_true), 1e-9);
+}
+
+TEST(Getrs, IdentityIsNoOp) {
+  const int n = 32;
+  Matrix a = Matrix::identity(n);
+  Matrix b = Matrix::random(n, 2, 303);
+  Matrix b0 = b;
+  auto f = core::getrf(a, small_opts());
+  core::getrs(a, f.ipiv, b);
+  EXPECT_LT(test::max_abs_diff(b, b0), 1e-14);
+}
+
+TEST(SolveResidual, ZeroForExactSolution) {
+  const int n = 16;
+  Matrix a = Matrix::identity(n);
+  Matrix x = Matrix::random(n, 1, 304);
+  Matrix b = x;
+  EXPECT_LT(core::solve_residual(a, x, b), 1e-16);
+}
+
+TEST(SolveResidual, LargeForWrongSolution) {
+  const int n = 16;
+  Matrix a = Matrix::diag_dominant(n, 305);
+  Matrix x = Matrix::random(n, 1, 306);
+  Matrix b(n, 1);  // zeros: Ax != b
+  EXPECT_GT(core::solve_residual(a, x, b), 0.1);
+}
+
+TEST(Gesv, ResidualTinyAndRefinementConverges) {
+  const int n = 120;
+  Matrix a = Matrix::random(n, n, 307);
+  Matrix b = Matrix::random(n, 2, 308);
+  auto res = core::gesv(a, b, small_opts(), 3);
+  EXPECT_LT(res.residual, 1e-14);
+  EXPECT_LE(res.refine_steps, 3);
+}
+
+TEST(Gesv, MultipleRightHandSides) {
+  const int n = 80, nrhs = 7;
+  Matrix a = Matrix::random(n, n, 309);
+  Matrix x_true = Matrix::random(n, nrhs, 310);
+  Matrix b(n, nrhs);
+  blas::gemm(blas::Trans::No, blas::Trans::No, n, nrhs, n, 1.0, a.data(),
+             a.ld(), x_true.data(), x_true.ld(), 0.0, b.data(), b.ld());
+  auto res = core::gesv(a, b, small_opts());
+  EXPECT_LT(test::max_abs_diff(res.x, x_true), 1e-8);
+}
+
+TEST(Gesv, IllConditionedStillBackwardStable) {
+  // Hilbert-like: terrible forward error, but the *residual* must stay at
+  // machine level (backward stability of GEPP-class pivoting).
+  const int n = 24;
+  Matrix a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = 1.0 / (1.0 + i + j);
+  Matrix b = Matrix::random(n, 1, 311);
+  auto res = core::gesv(a, b, small_opts(), 5);
+  EXPECT_LT(res.residual, 1e-10);
+}
+
+TEST(Gesv, WorksAcrossSchedulesAndLayouts) {
+  const int n = 96;
+  Matrix a = Matrix::random(n, n, 312);
+  Matrix b = Matrix::random(n, 1, 313);
+  for (core::Schedule s : {core::Schedule::Static, core::Schedule::Dynamic,
+                           core::Schedule::Hybrid}) {
+    for (layout::Layout l : {layout::Layout::BlockCyclic,
+                             layout::Layout::TwoLevelBlock,
+                             layout::Layout::ColumnMajor}) {
+      Options o = small_opts();
+      o.schedule = s;
+      o.layout = l;
+      auto res = core::gesv(a, b, o);
+      EXPECT_LT(res.residual, 1e-13)
+          << core::schedule_name(s) << "/" << layout::layout_name(l);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace calu

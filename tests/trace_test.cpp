@@ -1,0 +1,121 @@
+// trace_test.cpp — event recording, timeline statistics, renderers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/trace/svg.h"
+#include "src/trace/timeline.h"
+#include "src/trace/trace.h"
+
+namespace calu {
+namespace {
+
+using trace::Event;
+using trace::Kind;
+using trace::Recorder;
+
+Event ev(Kind k, double t0, double t1, bool dyn = false) {
+  Event e;
+  e.kind = k;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.dynamic = dyn;
+  return e;
+}
+
+TEST(Recorder, StartStopAndNow) {
+  Recorder rec;
+  rec.start(2);
+  EXPECT_TRUE(rec.active());
+  const double t1 = rec.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double t2 = rec.now();
+  EXPECT_GT(t2, t1);
+  rec.stop();
+  EXPECT_FALSE(rec.active());
+  EXPECT_GE(rec.makespan(), t2);
+  EXPECT_EQ(rec.threads(), 2);
+}
+
+TEST(Timeline, BusyIdleAccounting) {
+  Recorder rec;
+  rec.start(2);
+  rec.record(0, ev(Kind::S, 0.0, 0.5));
+  rec.record(1, ev(Kind::P, 0.0, 0.25, true));
+  rec.stop();
+  auto st = trace::analyze(rec);
+  EXPECT_GT(st.makespan, 0.0);
+  EXPECT_NEAR(st.threads[0].busy, 0.5, 1e-12);
+  EXPECT_NEAR(st.threads[1].busy, 0.25, 1e-12);
+  EXPECT_EQ(st.threads[1].dynamic_tasks, 1);
+  EXPECT_EQ(st.threads[0].dynamic_tasks, 0);
+  EXPECT_NEAR(st.total_busy, 0.75, 1e-12);
+  EXPECT_GT(st.idle_fraction, 0.0);
+  EXPECT_LT(st.idle_fraction, 1.0);
+}
+
+TEST(Timeline, ThreadsFinishedByStatistic) {
+  // The Figure-14 statistic: fraction of threads whose last task ends by a
+  // given fraction of the makespan.
+  trace::TimelineStats st;
+  st.makespan = 1.0;
+  st.threads.resize(10);
+  for (int t = 0; t < 10; ++t)
+    st.threads[t].last_end = t < 9 ? 0.6 : 1.0;  // 90% idle after 60%
+  EXPECT_NEAR(st.threads_finished_by(0.6), 0.9, 1e-12);
+  EXPECT_NEAR(st.threads_finished_by(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(st.threads_finished_by(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(st.finish_time_fraction(0.9), 0.6, 1e-12);
+  EXPECT_NEAR(st.finish_time_fraction(1.0), 1.0, 1e-12);
+}
+
+TEST(Timeline, AsciiRenderShowsKindsAndIdle) {
+  Recorder rec;
+  rec.start(2);
+  rec.record(0, ev(Kind::P, 0.0, 0.5));
+  rec.record(0, ev(Kind::S, 0.5, 1.0));
+  rec.record(1, ev(Kind::S, 0.0, 0.25));
+  rec.stop();
+  const std::string art = trace::ascii_timeline(rec, 40);
+  EXPECT_NE(art.find('P'), std::string::npos);
+  EXPECT_NE(art.find('S'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);  // thread 1's idle tail
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(Timeline, AsciiEmptyTrace) {
+  Recorder rec;
+  EXPECT_TRUE(trace::ascii_timeline(rec, 40).empty());
+}
+
+TEST(Svg, ContainsLanesAndColors) {
+  Recorder rec;
+  rec.start(2);
+  rec.record(0, ev(Kind::P, 0.0, 0.5));
+  rec.record(1, ev(Kind::S, 0.1, 0.9, true));
+  rec.stop();
+  const std::string svg = trace::svg_timeline(rec);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);  // P red
+  EXPECT_NE(svg.find("#2ca02c"), std::string::npos);  // S green
+  EXPECT_NE(svg.find("stroke='black'"), std::string::npos);  // dynamic mark
+}
+
+TEST(Svg, WritesFile) {
+  Recorder rec;
+  rec.start(1);
+  rec.record(0, ev(Kind::U, 0.0, 1.0));
+  rec.stop();
+  const std::string path = ::testing::TempDir() + "/calu_trace.svg";
+  EXPECT_TRUE(trace::write_svg_timeline(path, rec));
+}
+
+TEST(KindNames, AllDistinct) {
+  EXPECT_STREQ(trace::kind_name(Kind::P), "P");
+  EXPECT_STREQ(trace::kind_name(Kind::L), "L");
+  EXPECT_STREQ(trace::kind_name(Kind::U), "U");
+  EXPECT_STREQ(trace::kind_name(Kind::S), "S");
+}
+
+}  // namespace
+}  // namespace calu

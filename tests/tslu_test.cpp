@@ -1,0 +1,206 @@
+// tslu_test.cpp — tournament pivoting panel factorization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/blas/blas.h"
+#include "src/core/tslu.h"
+#include "src/layout/matrix.h"
+#include "tests/test_util.h"
+
+namespace calu {
+namespace {
+
+using core::build_swap_list;
+using core::tslu_factor;
+using layout::Matrix;
+
+struct TsluCase {
+  int m, n, nchunks;
+};
+
+class TsluTest : public ::testing::TestWithParam<TsluCase> {};
+
+TEST_P(TsluTest, Residual) {
+  const auto c = GetParam();
+  Matrix panel = Matrix::random(c.m, c.n, 101);
+  Matrix orig = panel;
+  std::vector<int> swaps = tslu_factor(panel, c.nchunks);
+  ASSERT_EQ(static_cast<int>(swaps.size()), std::min(c.m, c.n));
+  EXPECT_LT(blas::lu_residual(c.m, c.n, orig.data(), orig.ld(), panel.data(),
+                              panel.ld(), swaps.data(),
+                              static_cast<int>(swaps.size())),
+            100.0);
+}
+
+TEST_P(TsluTest, SwapTargetsAreValidRows) {
+  const auto c = GetParam();
+  Matrix panel = Matrix::random(c.m, c.n, 102);
+  std::vector<int> swaps = tslu_factor(panel, c.nchunks);
+  for (std::size_t i = 0; i < swaps.size(); ++i) {
+    EXPECT_GE(swaps[i], static_cast<int>(i));  // never swaps upward
+    EXPECT_LT(swaps[i], c.m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TsluTest,
+    ::testing::Values(TsluCase{8, 8, 1}, TsluCase{64, 8, 1},
+                      TsluCase{64, 8, 2}, TsluCase{64, 8, 4},
+                      TsluCase{64, 8, 7},       // uneven chunking
+                      TsluCase{100, 20, 5}, TsluCase{250, 50, 3},
+                      TsluCase{33, 16, 4},      // chunk rows < width
+                      TsluCase{16, 16, 16},     // single-row chunks
+                      TsluCase{500, 100, 6}, TsluCase{5, 5, 2},
+                      TsluCase{7, 3, 2}));
+
+TEST(Tslu, SingleChunkEqualsGepp) {
+  // With one leaf, tournament pivoting degenerates to GEPP: same pivot
+  // *rows* must be selected (as a set per step they are identical; the swap
+  // list itself matches because both pick the max-magnitude row).
+  const int m = 60, n = 12;
+  Matrix p1 = Matrix::random(m, n, 103);
+  Matrix p2 = p1;
+  std::vector<int> tswaps = tslu_factor(p1, 1);
+  std::vector<int> ipiv(n);
+  blas::getrf_recursive(m, n, p2.data(), p2.ld(), ipiv.data());
+  EXPECT_EQ(tswaps, ipiv);
+  EXPECT_LT(test::max_abs_diff(p1, p2), 1e-12);
+}
+
+TEST(Tslu, DeterministicForFixedChunking) {
+  const int m = 120, n = 24;
+  Matrix a = Matrix::random(m, n, 104);
+  Matrix b = a;
+  EXPECT_EQ(tslu_factor(a, 4), tslu_factor(b, 4));
+  EXPECT_EQ(test::max_abs_diff(a, b), 0.0);
+}
+
+TEST(Tslu, GrowthBoundedOnWilkinson) {
+  // On the GEPP worst case, tournament pivoting's growth should stay within
+  // a modest multiple of GEPP's 2^{n-1} (in practice it is comparable; the
+  // point of the test is that it does not explode catastrophically and the
+  // factorization stays valid).
+  const int n = 24;
+  Matrix a = Matrix::wilkinson(n);
+  Matrix a0 = a;
+  std::vector<int> swaps = tslu_factor(a, 3);
+  const double res = blas::lu_residual(n, n, a0.data(), a0.ld(), a.data(),
+                                       a.ld(), swaps.data(), n);
+  EXPECT_LT(res, 1e7);  // residual scaled by growth, still finite/valid
+}
+
+TEST(Tslu, RandomGrowthComparableToGepp) {
+  // Section 2: tournament pivoting "is shown to be as stable as partial
+  // pivoting in practice".  Check growth factors on random matrices stay
+  // within a small factor of GEPP's.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const int n = 96;
+    Matrix a = Matrix::random(n, n, seed);
+    Matrix a0 = a;
+    Matrix g = a;
+    std::vector<int> swaps = tslu_factor(a, 4);
+    std::vector<int> ipiv(n);
+    blas::getrf_recursive(n, n, g.data(), g.ld(), ipiv.data());
+    const double gt = blas::growth_factor(n, n, a0.data(), a0.ld(), a.data(),
+                                          a.ld());
+    const double gp = blas::growth_factor(n, n, a0.data(), a0.ld(), g.data(),
+                                          g.ld());
+    EXPECT_LT(gt, 8.0 * gp) << "seed " << seed;
+  }
+}
+
+TEST(BuildSwapList, IdentityWhenWinnersInPlace) {
+  std::vector<int> winners = {10, 11, 12};
+  EXPECT_EQ(build_swap_list(winners, 10, 3), (std::vector<int>{10, 11, 12}));
+}
+
+TEST(BuildSwapList, TracksDisplacedRows) {
+  // Winners: rows 12, 10 — after placing 12 at position 10, row 10 lives at
+  // position 12, so the second swap must target position 12.
+  std::vector<int> winners = {12, 10};
+  EXPECT_EQ(build_swap_list(winners, 10, 2), (std::vector<int>{12, 12}));
+}
+
+TEST(BuildSwapList, ReplayMatchesDirectPermutation) {
+  // Applying the swap list must put winner i's row values at position
+  // row0 + i, for arbitrary winner orders.
+  const int m = 12, n = 3, row0 = 2;
+  std::vector<int> winners = {7, 2, 11, 3};
+  Matrix a = Matrix::random(m, n, 105);
+  Matrix orig = a;
+  std::vector<int> swaps =
+      build_swap_list(winners, row0, static_cast<int>(winners.size()));
+  // laswp indexes ipiv by absolute row position; pad the head with
+  // identity entries.
+  std::vector<int> padded(row0);
+  for (int i = 0; i < row0; ++i) padded[i] = i;
+  padded.insert(padded.end(), swaps.begin(), swaps.end());
+  blas::laswp(n, a.data(), a.ld(), row0,
+              row0 + static_cast<int>(winners.size()), padded.data());
+  for (std::size_t i = 0; i < winners.size(); ++i)
+    for (int j = 0; j < n; ++j)
+      EXPECT_EQ(a(row0 + static_cast<int>(i), j), orig(winners[i], j))
+          << "winner " << i;
+}
+
+TEST(BuildSwapList, ChainOfDisplacements) {
+  // Adversarial pattern: each winner displaced by the previous placements.
+  std::vector<int> winners = {5, 6, 7, 8, 0};
+  const int row0 = 0;
+  Matrix a = Matrix::random(9, 2, 106);
+  Matrix orig = a;
+  auto swaps = build_swap_list(winners, row0, 5);
+  blas::laswp(2, a.data(), a.ld(), 0, 5, swaps.data());
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(a(i, 0), orig(winners[i], 0)) << i;
+}
+
+TEST(TournamentSelect, KeepsLargestPivotFirst) {
+  // One column: the winner must be the max-magnitude entry.
+  const int rows = 50;
+  std::vector<double> w = test::random_vec(rows, 107);
+  std::vector<int> src(rows);
+  for (int i = 0; i < rows; ++i) src[i] = i;
+  int argmax = 0;
+  for (int i = 1; i < rows; ++i)
+    if (std::fabs(w[i]) > std::fabs(w[argmax])) argmax = i;
+  core::tournament_select(rows, 1, w.data(), rows, src.data());
+  EXPECT_EQ(src[0], argmax);
+}
+
+TEST(TournamentSelect, WinnersKeepOriginalValues) {
+  const int rows = 30, width = 5;
+  auto w = test::random_vec(static_cast<std::size_t>(rows) * width, 108);
+  auto orig = w;
+  std::vector<int> src(rows);
+  for (int i = 0; i < rows; ++i) src[i] = i;
+  core::tournament_select(rows, width, w.data(), rows, src.data());
+  // Row i of the permuted buffer must equal original row src[i] — the
+  // tournament must not modify values, only reorder.
+  for (int i = 0; i < width; ++i)
+    for (int j = 0; j < width; ++j)
+      EXPECT_EQ(w[i + static_cast<std::size_t>(j) * rows],
+                orig[src[i] + static_cast<std::size_t>(j) * rows]);
+}
+
+TEST(TsluMergeLeaf, WinnersAreDistinctRows) {
+  const int m = 200, n = 25;
+  Matrix panel = Matrix::random(m, n, 109);
+  std::vector<int> swaps = tslu_factor(panel, 8);
+  std::set<int> seen;
+  int pos = 0;
+  for (int s : swaps) {
+    // Replaying swaps yields distinct winner rows; verify indirectly: a
+    // swap list entry always >= its position.
+    EXPECT_GE(s, pos);
+    ++pos;
+    seen.insert(s);
+  }
+  EXPECT_GE(static_cast<int>(seen.size()), 1);
+}
+
+}  // namespace
+}  // namespace calu
