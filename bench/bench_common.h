@@ -46,6 +46,9 @@ struct Timing {
   double seconds = 0.0;
   double gflops = 0.0;
   core::Stats stats;
+  /// Engine counters merged across every rep (the per-rep stats sit in
+  /// `stats.engine`); `engine_total.report()` is the bench summary line.
+  sched::EngineStats engine_total;
 };
 
 /// Median-of-reps CALU factorization.  Packing is redone per rep (fresh
@@ -55,43 +58,55 @@ inline Timing time_calu(const layout::Matrix& a0, core::Options opt,
                         sched::ThreadTeam& team, int nreps = reps()) {
   opt.threads = team.size();
   std::vector<Timing> runs;
+  sched::EngineStats total;
   for (int r = 0; r < nreps; ++r) {
     layout::PackedMatrix p = layout::PackedMatrix::pack(
         a0, opt.layout, opt.b, opt.resolved_grid());
     core::Factorization f = core::getrf(p, opt, &team);
-    runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats});
+    total.merge(f.stats.engine);
+    runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats, {}});
   }
   std::sort(runs.begin(), runs.end(),
             [](const Timing& x, const Timing& y) { return x.seconds < y.seconds; });
-  return runs[runs.size() / 2];
+  Timing median = runs[runs.size() / 2];
+  median.engine_total = total;
+  return median;
 }
 
 inline Timing time_getrf_pp(const layout::Matrix& a0, int b,
                             sched::ThreadTeam& team, int nreps = reps()) {
   std::vector<Timing> runs;
+  sched::EngineStats total;
   for (int r = 0; r < nreps; ++r) {
     layout::Matrix a = a0;
     core::Factorization f = core::getrf_pp(a, b, team);
-    runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats});
+    total.merge(f.stats.engine);
+    runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats, {}});
   }
   std::sort(runs.begin(), runs.end(),
             [](const Timing& x, const Timing& y) { return x.seconds < y.seconds; });
-  return runs[runs.size() / 2];
+  Timing median = runs[runs.size() / 2];
+  median.engine_total = total;
+  return median;
 }
 
 inline Timing time_incpiv(const layout::Matrix& a0, int b,
                           sched::ThreadTeam& team, int nreps = reps()) {
   std::vector<Timing> runs;
+  sched::EngineStats total;
   for (int r = 0; r < nreps; ++r) {
     layout::PackedMatrix p = layout::PackedMatrix::pack(
         a0, layout::Layout::TwoLevelBlock, b,
         layout::Grid::best(team.size()));
     core::IncpivFactor f = core::getrf_incpiv(p, team);
-    runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats});
+    total.merge(f.stats.engine);
+    runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats, {}});
   }
   std::sort(runs.begin(), runs.end(),
             [](const Timing& x, const Timing& y) { return x.seconds < y.seconds; });
-  return runs[runs.size() / 2];
+  Timing median = runs[runs.size() / 2];
+  median.engine_total = total;
+  return median;
 }
 
 /// Default tile size: the paper uses b = 100; we keep a power-of-two

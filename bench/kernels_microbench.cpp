@@ -97,20 +97,26 @@ void BM_TsluPanel(benchmark::State& state) {
 BENCHMARK(BM_TsluPanel)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_DequeueOverhead(benchmark::State& state) {
-  // The cost the paper worries about: concurrent pops from one shared
-  // queue at increasing thread counts.
+  // The cost the paper worries about: concurrent pops from the shared
+  // dynamic queue at increasing thread counts, measured per engine.
   const int threads = static_cast<int>(state.range(0));
+  const char* names[] = {"hybrid", "work-stealing", "locality-tags"};
+  const char* name = names[state.range(1)];
+  auto engine = sched::make_engine(name);
+  state.SetLabel(name);
   for (auto _ : state) {
     sched::ThreadTeam team(threads, false);
     sched::TaskGraph g;
     for (int i = 0; i < 20000; ++i) g.add_task(sched::Task{});
     g.finalize();
-    sched::run_owner_queues(team, g, [](int, int) {});
+    engine->run(team, g, [](int, int) {});
   }
   state.counters["tasks/s"] = benchmark::Counter(
       20000.0 * state.iterations(), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_DequeueOverhead)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DequeueOverhead)
+    ->ArgsProduct({{1, 4, 8}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

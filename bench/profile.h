@@ -33,13 +33,11 @@ inline void profile_run(const char* fig, core::Schedule sched, double dratio,
   core::Factorization f = core::getrf(p, opt, &team);
 
   const trace::TimelineStats st = trace::analyze(rec);
+  // Idle fraction and the static/dynamic split are inside summarize().
+  std::printf("engine [%s]\n%s", opt.resolved_engine().c_str(),
+              trace::summarize(st, f.stats.engine).c_str());
   std::printf("factor time        : %.4f s (%.2f Gflop/s)\n",
               f.stats.factor_seconds, f.stats.gflops);
-  std::printf("idle fraction      : %.1f%% of p*makespan\n",
-              st.idle_fraction * 100.0);
-  std::printf("dynamic-queue tasks: %llu of %d\n",
-              static_cast<unsigned long long>(f.stats.engine.dynamic_pops),
-              f.stats.tasks);
   std::printf("90%% threads done by: %.0f%% of makespan\n",
               st.finish_time_fraction(0.9) * 100.0);
   std::printf("50%% threads done by: %.0f%% of makespan\n",

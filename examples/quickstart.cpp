@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
   layout::Matrix b = layout::Matrix::random(n, 1, /*seed=*/8);
 
   // CALU with the paper's recommended configuration: block-cyclic layout,
-  // static scheduling with a 10% dynamic section, b = 100.
+  // static scheduling with a 10% dynamic section, b = 100.  The executor
+  // is picked by name from the engine registry; Schedule::Hybrid maps to
+  // "hybrid" (set opt.engine to override, e.g. "work-stealing").
   core::Options opt;
   opt.b = 100;
   opt.schedule = core::Schedule::Hybrid;
@@ -29,10 +31,8 @@ int main(int argc, char** argv) {
               "%d of %d panels static\n",
               n, n, f.stats.factor_seconds, f.stats.gflops, f.stats.tasks,
               f.stats.nstatic_panels, f.stats.npanels);
-  std::printf("tasks served from per-thread queues: %llu, from the shared "
-              "dynamic queue: %llu\n",
-              static_cast<unsigned long long>(f.stats.engine.static_pops),
-              static_cast<unsigned long long>(f.stats.engine.dynamic_pops));
+  std::printf("engine [%s] %s\n", opt.resolved_engine().c_str(),
+              f.stats.engine.report().c_str());
 
   // Solve and verify.
   layout::Matrix x = b;

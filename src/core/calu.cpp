@@ -6,11 +6,13 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "src/blas/blas.h"
 #include "src/core/calu_dag.h"
 #include "src/core/tslu.h"
 #include "src/model/lu_cost.h"
+#include "src/sched/engine_registry.h"
 
 namespace calu::core {
 namespace {
@@ -196,6 +198,13 @@ double Options::resolved_dratio() const {
   }
 }
 
+std::string Options::resolved_engine() const {
+  if (!engine.empty()) return engine;
+  if (schedule == Schedule::WorkStealing) return "work-stealing";
+  if (locality_tags) return "locality-tags";
+  return "hybrid";
+}
+
 Factorization getrf(layout::PackedMatrix& a, const Options& opt,
                     sched::ThreadTeam* team) {
   const layout::Tiling& tl = a.tiling();
@@ -221,6 +230,7 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   sched::RunHooks hooks;
   hooks.recorder = opt.recorder;
   hooks.locality_tags = opt.locality_tags;
+  hooks.ws_seed = opt.ws_seed;
   std::unique_ptr<noise::Injector> injector;
   if (opt.noise.enabled()) {
     injector = std::make_unique<noise::Injector>(opt.noise, team->size());
@@ -228,12 +238,10 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   }
 
   auto exec = [&rt](int id, int tid) { rt.exec(id, tid); };
+  std::unique_ptr<sched::Engine> engine =
+      sched::make_engine_or_default(opt.resolved_engine());
   t0 = std::chrono::steady_clock::now();
-  if (opt.schedule == Schedule::WorkStealing)
-    f.stats.engine = sched::run_work_stealing(*team, plan.graph, exec, hooks,
-                                              opt.ws_seed);
-  else
-    f.stats.engine = sched::run_owner_queues(*team, plan.graph, exec, hooks);
+  f.stats.engine = engine->run(*team, plan.graph, exec, hooks);
   rt.apply_left_swaps(*team);
   f.stats.factor_seconds = seconds_since(t0);
   f.stats.gflops = model::gflops(model::lu_flops(tl.m, tl.n),

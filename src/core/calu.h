@@ -51,10 +51,18 @@ struct Options {
   trace::Recorder* recorder = nullptr;  // optional timeline capture
   noise::NoiseSpec noise{};             // optional transient-load injection
   std::uint64_t ws_seed = 7;            // work-stealing victim RNG seed
+  /// Executor registry name ("hybrid", "work-stealing", "locality-tags",
+  /// or any engine registered via sched::register_engine).  Empty = derive
+  /// from `schedule` and `locality_tags`; see resolved_engine().
+  std::string engine;
 
   int resolved_threads() const;
   layout::Grid resolved_grid() const;
   double resolved_dratio() const;
+  /// The registry key actually used: `engine` when set, else
+  /// "work-stealing" for Schedule::WorkStealing, "locality-tags" when
+  /// locality_tags is on, "hybrid" otherwise.
+  std::string resolved_engine() const;
 };
 
 struct Stats {

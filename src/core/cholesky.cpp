@@ -11,6 +11,7 @@
 #include "src/model/lu_cost.h"
 #include "src/sched/dag.h"
 #include "src/sched/engine.h"
+#include "src/sched/engine_registry.h"
 
 namespace calu::core {
 namespace {
@@ -174,18 +175,17 @@ Factorization potrf(layout::PackedMatrix& a, const Options& opt,
   sched::RunHooks hooks;
   hooks.recorder = opt.recorder;
   hooks.locality_tags = opt.locality_tags;
+  hooks.ws_seed = opt.ws_seed;
   std::unique_ptr<noise::Injector> injector;
   if (opt.noise.enabled()) {
     injector = std::make_unique<noise::Injector>(opt.noise, team->size());
     hooks.injector = injector.get();
   }
 
+  std::unique_ptr<sched::Engine> engine =
+      sched::make_engine_or_default(opt.resolved_engine());
   t0 = std::chrono::steady_clock::now();
-  if (opt.schedule == Schedule::WorkStealing)
-    f.stats.engine =
-        sched::run_work_stealing(*team, g, body, hooks, opt.ws_seed);
-  else
-    f.stats.engine = sched::run_owner_queues(*team, g, body, hooks);
+  f.stats.engine = engine->run(*team, g, body, hooks);
   f.stats.factor_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

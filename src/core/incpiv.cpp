@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "src/blas/blas.h"
 #include "src/model/lu_cost.h"
 #include "src/sched/dag.h"
 #include "src/sched/engine.h"
+#include "src/sched/engine_registry.h"
 
 namespace calu::core {
 namespace {
@@ -204,8 +206,11 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
 
   sched::RunHooks hooks;
   hooks.recorder = recorder;
+  // Incremental pivoting's DAG is all-dynamic; the hybrid engine's global
+  // queue serves it (its static section is simply empty).
+  std::unique_ptr<sched::Engine> engine = sched::make_engine("hybrid");
   const auto t0 = std::chrono::steady_clock::now();
-  f.stats.engine = sched::run_owner_queues(team, g, exec, hooks);
+  f.stats.engine = engine->run(team, g, exec, hooks);
   f.stats.factor_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

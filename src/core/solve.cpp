@@ -7,7 +7,7 @@
 
 namespace calu::core {
 
-void getrs(const layout::Matrix& lu, std::span<const int> ipiv,
+void getrs(const layout::Matrix& lu, util::Span<const int> ipiv,
            layout::Matrix& b) {
   const int n = lu.cols();
   assert(lu.rows() == n && b.rows() == n);

@@ -2,7 +2,7 @@
 // factorizations, turning the library into a usable linear-system solver.
 #pragma once
 
-#include <span>
+#include "src/util/span.h"
 
 #include "src/core/calu.h"
 #include "src/layout/matrix.h"
@@ -11,7 +11,7 @@ namespace calu::core {
 
 /// Solve op(A) X = B in place given a LAPACK-style [L\U] factorization
 /// `lu` and absolute-row swap sequence `ipiv` (getrs semantics, NoTrans).
-void getrs(const layout::Matrix& lu, std::span<const int> ipiv,
+void getrs(const layout::Matrix& lu, util::Span<const int> ipiv,
            layout::Matrix& b);
 
 /// Componentwise-normalized residual ||A x - b||_inf /

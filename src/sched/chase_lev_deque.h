@@ -1,0 +1,136 @@
+// chase_lev_deque.h — lock-free work-stealing deque (Chase & Lev, SPAA'05),
+// with the C11 memory orderings of Lê, Pop, Cohen & Zappa Nardelli
+// (PPoPP'13, "Correct and Efficient Work-Stealing for Weak Memory Models").
+//
+// The owner thread pushes and pops at the bottom without synchronization in
+// the common case; thieves CAS the top.  This removes the mutex the old
+// StealDeque took on every operation — the paper's "dequeue overhead"
+// becomes a single fence on the owner's fast path, which is what lets the
+// dynamic section scale past a handful of threads.
+//
+// The ring buffer grows geometrically; retired buffers are kept alive until
+// the deque is destroyed so a thief holding a stale buffer pointer can
+// still read from it (elements are atomics, so the racy read a concurrent
+// steal performs on a slot the owner may be overwriting is defined
+// behavior; the subsequent CAS on top_ rejects the value if it lost).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace calu::sched {
+
+/// Single-owner, multi-thief deque of task ids.
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 64) {
+    std::int64_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    auto buf = std::make_unique<Ring>(cap);
+    buffer_.store(buf.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(buf));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push a task at the bottom.
+  void push_bottom(int task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = buffer_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) a = grow(a, t, b);
+    a->put(b, task);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop the most recently pushed task (LIFO).
+  bool pop_bottom(int& task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    bool got = false;
+    if (t <= b) {
+      task = a->get(b);
+      got = true;
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          got = false;
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return got;
+  }
+
+  /// Any thread: steal the oldest task (FIFO, the classic Cilk discipline).
+  bool steal_top(int& task) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    Ring* a = buffer_.load(std::memory_order_acquire);
+    const int candidate = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return false;  // lost the race (to the owner or another thief)
+    task = candidate;
+    return true;
+  }
+
+  /// Approximate: exact only when no concurrent operations are running.
+  std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Ring {
+    const std::int64_t capacity;  // power of two
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<int>[]> slots;
+
+    explicit Ring(std::int64_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(new std::atomic<int>[static_cast<std::size_t>(cap)]) {}
+
+    int get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, int v) {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+  /// Owner only (called from push_bottom).  The old ring stays alive in
+  /// retired_ — only the owner touches that vector, and thieves never see
+  /// the new buffer until buffer_ is published.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Ring>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Ring* raw = bigger.get();
+    buffer_.store(raw, std::memory_order_release);
+    retired_.push_back(std::move(bigger));
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Ring>> retired_;  // owner-mutated only
+};
+
+}  // namespace calu::sched

@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "src/trace/trace.h"
+#include "src/util/span.h"
 
 namespace calu::sched {
 
@@ -57,7 +57,7 @@ class TaskGraph {
   Task& task(int id) { return tasks_[id]; }
   int initial_deps(int id) const { return ndeps_[id]; }
 
-  std::span<const int> successors(int id) const {
+  util::Span<const int> successors(int id) const {
     return {succ_.data() + offset_[id],
             static_cast<std::size_t>(offset_[id + 1] - offset_[id])};
   }

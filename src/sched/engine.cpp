@@ -1,114 +1,51 @@
+// engine.cpp — EngineStats merge/report and the back-compat free-function
+// wrappers.  The concrete executors live in engine_hybrid.cpp and
+// engine_work_stealing.cpp; selection goes through engine_registry.cpp.
 #include "src/sched/engine.h"
 
-#include <cassert>
-#include <chrono>
-#include <memory>
-#include <thread>
+#include <algorithm>
+#include <cstdio>
 
-#include "src/sched/task_queue.h"
+#include "src/sched/engine_registry.h"
 
 namespace calu::sched {
-namespace {
 
-struct alignas(64) PaddedCounter {
-  std::uint64_t value = 0;
-};
+EngineStats& EngineStats::merge(const EngineStats& other) {
+  static_pops += other.static_pops;
+  dynamic_pops += other.dynamic_pops;
+  steals += other.steals;
+  steal_attempts += other.steal_attempts;
+  elapsed = std::max(elapsed, other.elapsed);
+  return *this;
+}
 
-}  // namespace
+std::string EngineStats::report() const {
+  const std::uint64_t total = static_pops + dynamic_pops + steals;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "tasks=%llu static=%llu dynamic=%llu steals=%llu/%llu "
+                "elapsed=%.4fs",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(static_pops),
+                static_cast<unsigned long long>(dynamic_pops),
+                static_cast<unsigned long long>(steals),
+                static_cast<unsigned long long>(steal_attempts), elapsed);
+  return buf;
+}
 
 EngineStats run_owner_queues(ThreadTeam& team, const TaskGraph& graph,
                              const ExecFn& exec, const RunHooks& hooks) {
-  assert(graph.finalized());
-  const int p = team.size();
-  const int n = graph.num_tasks();
+  auto engine =
+      make_engine(hooks.locality_tags ? "locality-tags" : "hybrid");
+  return engine->run(team, graph, exec, hooks);
+}
 
-  std::vector<PriorityTaskQueue> own(p);
-  // Without locality tags the dynamic part is ONE shared queue (DFS
-  // order, Algorithm 2).  With them it is partitioned by Task::tag so
-  // threads serve their own tag's bucket first.
-  const int nglobal = hooks.locality_tags ? p : 1;
-  std::vector<PriorityTaskQueue> global(nglobal);
-  std::vector<std::atomic<int>> deps(n);
-  for (int t = 0; t < n; ++t)
-    deps[t].store(graph.initial_deps(t), std::memory_order_relaxed);
-  std::atomic<int> remaining(n);
-
-  auto enqueue = [&](int id) {
-    const Task& t = graph.task(id);
-    if (t.owner >= 0)
-      own[t.owner % p].push(t.priority, id);
-    else if (nglobal > 1 && t.tag >= 0)
-      global[t.tag % p].push(t.priority, id);
-    else
-      global[0].push(t.priority, id);
-  };
-  for (int t = 0; t < n; ++t)
-    if (graph.initial_deps(t) == 0) enqueue(t);
-
-  std::vector<PaddedCounter> spops(p), dpops(p);
-  trace::Recorder* rec = hooks.recorder;
-  if (rec) rec->start(p);
-  const auto t0 = std::chrono::steady_clock::now();
-
-  team.run([&](int tid) {
-    int backoff = 0;
-    while (remaining.load(std::memory_order_acquire) > 0) {
-      int id = -1;
-      bool from_global = false;
-      bool got = own[tid].try_pop(id);
-      if (!got) {
-        // Dynamic part: own tag bucket first, then the others round-robin.
-        for (int q = 0; q < nglobal && !got; ++q)
-          got = global[(tid + q) % nglobal].try_pop(id);
-        from_global = got;
-      }
-      if (got) {
-        if (from_global)
-          ++dpops[tid].value;
-        else
-          ++spops[tid].value;
-      } else {
-        // No ready work for this thread right now: brief backoff.  The
-        // paper's threads spin in the same situation (waiting on taskP).
-        if (++backoff > 64) {
-          std::this_thread::yield();
-          backoff = 0;
-        }
-        continue;
-      }
-      backoff = 0;
-      if (hooks.injector) hooks.injector->maybe_inject(tid);
-      trace::Event ev;
-      if (rec) {
-        const Task& t = graph.task(id);
-        ev.kind = t.kind;
-        ev.step = t.step;
-        ev.i = t.i;
-        ev.j = t.j;
-        ev.dynamic = from_global;
-        ev.t0 = rec->now();
-      }
-      exec(id, tid);
-      if (rec) {
-        ev.t1 = rec->now();
-        rec->record(tid, ev);
-      }
-      for (int s : graph.successors(id))
-        if (deps[s].fetch_sub(1, std::memory_order_acq_rel) == 1) enqueue(s);
-      remaining.fetch_sub(1, std::memory_order_acq_rel);
-    }
-  });
-
-  EngineStats st;
-  st.elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  if (rec) rec->stop();
-  for (int t = 0; t < p; ++t) {
-    st.static_pops += spops[t].value;
-    st.dynamic_pops += dpops[t].value;
-  }
-  return st;
+EngineStats run_work_stealing(ThreadTeam& team, const TaskGraph& graph,
+                              const ExecFn& exec, const RunHooks& hooks,
+                              std::uint64_t seed) {
+  RunHooks h = hooks;
+  h.ws_seed = seed;
+  return make_engine("work-stealing")->run(team, graph, exec, h);
 }
 
 }  // namespace calu::sched

@@ -1,21 +1,34 @@
-// engine.h — task-graph executors.
+// engine.h — the pluggable task-graph executor interface.
 //
-// run_owner_queues() is the paper's scheduler: every thread first serves its
-// own priority queue of ready *static* tasks (ensuring progress on the
-// critical path and data locality), and only when that is empty pulls from
-// the shared global queue of *dynamic* tasks in DFS order — Algorithm 1's
-// "while ... not done, do dynamic_tasks()" made explicit.  Fully static
-// (every task owned) and fully dynamic (no task owned) are the two
-// degenerate cases, so one engine serves the whole design space of Table 1.
+// One task dependency graph serves the whole static<->dynamic design space
+// (Table 1 of the paper); *how* it is executed is an Engine:
 //
-// run_work_stealing() is the related-work baseline (Section 8): ready tasks
-// go to the spawning thread's deque, idle threads steal from random
-// victims.
+//   "hybrid"        — the paper's scheduler (Algorithm 1): every thread
+//                     first serves its own priority queue of ready *static*
+//                     tasks (progress on the critical path, data locality),
+//                     and only when that is empty pulls from the sharded
+//                     global queue of *dynamic* tasks in DFS order.  Fully
+//                     static and fully dynamic are the two degenerate
+//                     cases.
+//   "locality-tags" — Section-9 extension: the dynamic section is
+//                     partitioned by Task::tag and each thread serves its
+//                     own tag's shard first ("tasks whose data is highly
+//                     likely to be in a core's cache already"), falling
+//                     back to other shards round-robin.
+//   "work-stealing" — the related-work baseline (Section 8): ready tasks
+//                     go to the spawning thread's lock-free Chase-Lev
+//                     deque; idle threads steal FIFO from random victims.
+//
+// Engines are obtained by name from the registry (engine_registry.h) so
+// drivers, benches, and examples never hard-wire an executor; new policies
+// (priority look-ahead, NUMA-aware stealing, batched multi-solve) plug in
+// by registering a factory.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "src/noise/noise.h"
 #include "src/sched/dag.h"
@@ -30,35 +43,78 @@ using ExecFn = std::function<void(int id, int tid)>;
 struct RunHooks {
   trace::Recorder* recorder = nullptr;  // optional timeline recording
   noise::Injector* injector = nullptr;  // optional transient-load injection
-  /// Section-9 extension: partition the shared dynamic queue by Task::tag
-  /// and let each thread serve its own tag's bucket first ("tasks whose
-  /// data is highly likely to be in a core's cache already"), falling back
-  /// to other buckets round-robin.  DFS priority is preserved within each
-  /// bucket.
+  /// Makes the "hybrid" engine behave as "locality-tags" (kept so callers
+  /// holding a hybrid engine can flip the policy per run; selecting the
+  /// "locality-tags" engine from the registry sets it for you).
   bool locality_tags = false;
+  std::uint64_t ws_seed = 7;  // work-stealing victim RNG seed
 };
 
+/// Merged execution counters.  Engines accumulate per-thread into
+/// cache-line padded slots (PerThreadStats below) and merge once at the
+/// end, so hot-loop increments never false-share.
 struct EngineStats {
   std::uint64_t static_pops = 0;   // tasks served from per-thread queues
   std::uint64_t dynamic_pops = 0;  // tasks served from the global queue
   std::uint64_t steals = 0;        // successful steals (work stealing only)
   std::uint64_t steal_attempts = 0;
-  double elapsed = 0.0;            // seconds inside the engine
+  double elapsed = 0.0;  // seconds inside the engine (max over merges)
+
+  /// Accumulates counters; `elapsed` takes the max (merging reps or
+  /// threads, the wall time is the longest observed, not the sum).
+  EngineStats& merge(const EngineStats& other);
+
+  /// One-line human-readable summary, used by bench/ and trace/ reporting.
+  std::string report() const;
 };
 
-/// Hybrid static/dynamic execution.  Tasks with owner >= 0 are queued to
-/// that thread; owner == kDynamicOwner tasks go to the global queue which
-/// any idle thread may serve.
+/// Per-thread counter slot, padded to a cache line to kill false sharing
+/// between adjacent threads' hot-loop increments.
+struct alignas(64) PerThreadStats {
+  std::uint64_t static_pops = 0;
+  std::uint64_t dynamic_pops = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+
+  EngineStats to_stats() const {
+    EngineStats st;
+    st.static_pops = static_pops;
+    st.dynamic_pops = dynamic_pops;
+    st.steals = steals;
+    st.steal_attempts = steal_attempts;
+    return st;
+  }
+};
+
+/// Abstract executor over a finalized TaskGraph.  Implementations must be
+/// stateless across run() calls (one engine instance may be reused, even
+/// from different teams).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Registry key this engine was built under ("hybrid", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Executes every task of `graph` exactly once, respecting edges.
+  virtual EngineStats run(ThreadTeam& team, const TaskGraph& graph,
+                          const ExecFn& exec,
+                          const RunHooks& hooks = {}) = 0;
+};
+
+// ---------------------------------------------------------------------
+// Back-compat free functions (thin wrappers over registry engines).  New
+// code should select an engine by name via engine_registry.h instead.
+
+/// Hybrid static/dynamic execution: "hybrid" (or "locality-tags" when
+/// hooks.locality_tags is set).
 EngineStats run_owner_queues(ThreadTeam& team, const TaskGraph& graph,
                              const ExecFn& exec, const RunHooks& hooks = {});
 
-/// Cilk-style randomized work stealing over the same graph (owner hints are
-/// ignored).  `steal_from_top` selects FIFO steals (the classic discipline);
-/// false steals LIFO, the variant the paper argues inhibits the critical
-/// path of factorizations.
+/// Chase-Lev randomized work stealing over the same graph (owner hints are
+/// ignored; thieves steal FIFO, the classic discipline).
 EngineStats run_work_stealing(ThreadTeam& team, const TaskGraph& graph,
                               const ExecFn& exec, const RunHooks& hooks = {},
-                              std::uint64_t seed = 7,
-                              bool steal_from_top = true);
+                              std::uint64_t seed = 7);
 
 }  // namespace calu::sched

@@ -1,0 +1,79 @@
+// engine_impl.h — internal scaffolding shared by the concrete engines.
+// Not installed / not part of the public surface: include from
+// src/sched/engine_*.cpp only.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "src/sched/engine.h"
+
+namespace calu::sched::detail {
+
+/// Dependency counters + completion tracking + the hook-wrapped task body.
+/// Every engine shares this; what differs is only where ready tasks wait
+/// (owner queues, sharded global queue, Chase-Lev deques).
+class RunContext {
+ public:
+  RunContext(const TaskGraph& graph, const ExecFn& exec,
+             const RunHooks& hooks)
+      : graph_(graph), exec_(exec), hooks_(hooks), deps_(graph.num_tasks()),
+        remaining_(graph.num_tasks()) {
+    for (int t = 0; t < graph.num_tasks(); ++t)
+      deps_[t].store(graph.initial_deps(t), std::memory_order_relaxed);
+  }
+
+  bool done() const {
+    return remaining_.load(std::memory_order_acquire) <= 0;
+  }
+
+  /// Runs task `id` with noise/trace hooks applied, decrements successor
+  /// dependency counts, and hands newly ready tasks to `enqueue(succ_id)`.
+  template <class EnqueueFn>
+  void run_task(int id, int tid, bool dynamic, const EnqueueFn& enqueue) {
+    if (hooks_.injector) hooks_.injector->maybe_inject(tid);
+    trace::Recorder* rec = hooks_.recorder;
+    trace::Event ev;
+    if (rec) {
+      const Task& t = graph_.task(id);
+      ev.kind = t.kind;
+      ev.step = t.step;
+      ev.i = t.i;
+      ev.j = t.j;
+      ev.dynamic = dynamic;
+      ev.t0 = rec->now();
+    }
+    exec_(id, tid);
+    if (rec) {
+      ev.t1 = rec->now();
+      rec->record(tid, ev);
+    }
+    for (int s : graph_.successors(id))
+      if (deps_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) enqueue(s);
+    remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  const TaskGraph& graph_;
+  const ExecFn& exec_;
+  const RunHooks& hooks_;
+  std::vector<std::atomic<int>> deps_;
+  std::atomic<int> remaining_;
+};
+
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Merges padded per-thread slots into one EngineStats and stamps elapsed.
+inline EngineStats merge_thread_stats(const std::vector<PerThreadStats>& per,
+                                      double elapsed) {
+  EngineStats st;
+  for (const PerThreadStats& s : per) st.merge(s.to_stats());
+  st.elapsed = elapsed;
+  return st;
+}
+
+}  // namespace calu::sched::detail

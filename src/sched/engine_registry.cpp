@@ -1,0 +1,95 @@
+#include "src/sched/engine_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace calu::sched {
+
+// Built-in factories, defined in engine_hybrid.cpp / engine_work_stealing.cpp.
+// Declared here (not in a public header) so the registry is the only place
+// that knows the concrete set; everything else goes through names.
+namespace detail {
+std::unique_ptr<Engine> make_hybrid_engine(std::string name,
+                                           bool locality_tags);
+std::unique_ptr<Engine> make_work_stealing_engine(std::string name);
+}  // namespace detail
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::less<> enables heterogeneous string_view lookup.
+  std::map<std::string, EngineFactory, std::less<>> factories;
+
+  Registry() {
+    factories.emplace("hybrid", [] {
+      return detail::make_hybrid_engine("hybrid", /*locality_tags=*/false);
+    });
+    factories.emplace("locality-tags", [] {
+      return detail::make_hybrid_engine("locality-tags",
+                                        /*locality_tags=*/true);
+    });
+    factories.emplace("work-stealing", [] {
+      return detail::make_work_stealing_engine("work-stealing");
+    });
+  }
+};
+
+Registry& registry() {
+  static Registry r;  // constructed on first use; built-ins always present
+  return r;
+}
+
+}  // namespace
+
+bool register_engine(std::string name, EngineFactory factory) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  auto [it, inserted] =
+      r.factories.insert_or_assign(std::move(name), std::move(factory));
+  (void)it;
+  return !inserted;
+}
+
+std::unique_ptr<Engine> make_engine(std::string_view name) {
+  EngineFactory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard lk(r.mu);
+    auto it = r.factories.find(name);
+    if (it == r.factories.end()) return nullptr;
+    factory = it->second;  // copy so user factories may re-enter the registry
+  }
+  return factory();
+}
+
+std::unique_ptr<Engine> make_engine_or_default(std::string_view name) {
+  std::unique_ptr<Engine> engine = make_engine(name);
+  if (!engine) {
+    std::fprintf(stderr,
+                 "calu::sched: unknown engine '%.*s', using \"hybrid\"\n",
+                 static_cast<int>(name.size()), name.data());
+    engine = make_engine("hybrid");
+  }
+  return engine;
+}
+
+bool engine_registered(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  return r.factories.find(name) != r.factories.end();
+}
+
+std::vector<std::string> engine_names() {
+  Registry& r = registry();
+  std::lock_guard lk(r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace calu::sched

@@ -1,0 +1,118 @@
+// engine_work_stealing.cpp — randomized work stealing (the Section-8
+// related-work baseline), registered as "work-stealing".
+//
+// Ready tasks go to the spawning thread's lock-free Chase-Lev deque; the
+// owner pops LIFO, idle threads steal FIFO from a random victim — the
+// classic Cilk discipline the paper contrasts against.  Owner hints and
+// priorities on the graph are ignored.  Relative to the seed's
+// mutex-per-operation deque, the owner's fast path here is fence-only, so
+// steal pressure from idle threads no longer serializes busy ones.
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sched/chase_lev_deque.h"
+#include "src/sched/engine.h"
+#include "src/sched/engine_impl.h"
+
+namespace calu::sched {
+namespace {
+
+class WorkStealingEngine final : public Engine {
+ public:
+  explicit WorkStealingEngine(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+
+  EngineStats run(ThreadTeam& team, const TaskGraph& graph,
+                  const ExecFn& exec, const RunHooks& hooks) override {
+    assert(graph.finalized());
+    const int p = team.size();
+    const int n = graph.num_tasks();
+
+    std::vector<std::unique_ptr<ChaseLevDeque>> deques;
+    deques.reserve(p);
+    for (int t = 0; t < p; ++t)
+      deques.push_back(std::make_unique<ChaseLevDeque>());
+
+    detail::RunContext ctx(graph, exec, hooks);
+    // Initial (static) near-equal distribution of the roots, as in the
+    // paper's description of work stealing.
+    {
+      int next = 0;
+      for (int t = 0; t < n; ++t)
+        if (graph.initial_deps(t) == 0)
+          deques[next++ % p]->push_bottom(t);
+    }
+
+    struct alignas(64) Rng {
+      std::uint64_t state = 0;
+      std::uint64_t next() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1DULL;
+      }
+    };
+    std::vector<Rng> rng(p);
+    for (int t = 0; t < p; ++t)
+      rng[t].state = hooks.ws_seed * 0x9E3779B97F4A7C15ULL + t + 1;
+
+    std::vector<PerThreadStats> per(p);
+    trace::Recorder* rec = hooks.recorder;
+    if (rec) rec->start(p);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    team.run([&](int tid) {
+      PerThreadStats& me = per[tid];
+      ChaseLevDeque& mine = *deques[tid];
+      auto enqueue = [&](int id) { mine.push_bottom(id); };
+      int backoff = 0;
+      while (!ctx.done()) {
+        int id = -1;
+        bool stolen = false;
+        if (mine.pop_bottom(id)) {
+          ++me.static_pops;  // owner-local pops (kept under static_pops)
+        } else if (p > 1) {
+          const int victim = static_cast<int>(rng[tid].next() % (p - 1));
+          const int v = victim >= tid ? victim + 1 : victim;
+          ++me.steal_attempts;
+          if (!deques[v]->steal_top(id)) {
+            if (++backoff > 64) {
+              std::this_thread::yield();
+              backoff = 0;
+            }
+            continue;
+          }
+          stolen = true;
+          ++me.steals;
+        } else {
+          continue;
+        }
+        backoff = 0;
+        ctx.run_task(id, tid, stolen, enqueue);
+      }
+    });
+
+    if (rec) rec->stop();
+    return detail::merge_thread_stats(per, detail::seconds_since(t0));
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Engine> make_work_stealing_engine(std::string name) {
+  return std::make_unique<WorkStealingEngine>(std::move(name));
+}
+
+}  // namespace detail
+}  // namespace calu::sched

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdio>
+
+#include "src/sched/engine.h"
 
 namespace calu::trace {
 
@@ -85,6 +88,20 @@ std::string ascii_timeline(const Recorder& rec, int width) {
     }
     out += "|\n";
   }
+  return out;
+}
+
+std::string summarize(const TimelineStats& ts,
+                      const sched::EngineStats& engine) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "makespan=%.4fs busy=%.4fs idle=%.1f%% threads=%d\n",
+                ts.makespan, ts.total_busy, ts.idle_fraction * 100.0,
+                static_cast<int>(ts.threads.size()));
+  std::string out = buf;
+  out += "engine: ";
+  out += engine.report();
+  out += '\n';
   return out;
 }
 

@@ -6,6 +6,10 @@
 
 #include "src/trace/trace.h"
 
+namespace calu::sched {
+struct EngineStats;  // src/sched/engine.h (kept forward to avoid a cycle)
+}  // namespace calu::sched
+
 namespace calu::trace {
 
 struct ThreadStats {
@@ -40,5 +44,11 @@ TimelineStats analyze(const Recorder& rec);
 /// (P/L/U/S/W), '.' = idle.  Matches the paper's profile figures closely
 /// enough to eyeball pockets of idle time in a terminal.
 std::string ascii_timeline(const Recorder& rec, int width = 100);
+
+/// Multi-line summary combining timeline statistics with merged engine
+/// counters (sched::EngineStats::report()) — the shared reporting path for
+/// the profile benches and examples.
+std::string summarize(const TimelineStats& ts,
+                      const sched::EngineStats& engine);
 
 }  // namespace calu::trace

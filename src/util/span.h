@@ -1,0 +1,36 @@
+// span.h — minimal C++17 stand-in for std::span<T> (the repo builds as
+// C++17; std::span is C++20).  Only what the codebase needs: construction
+// from pointer+size or a vector, iteration, indexing, size.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace calu::util {
+
+template <class T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t size) : data_(data), size_(size) {}
+  template <class U, class Alloc,
+            class = std::enable_if_t<std::is_convertible_v<const U*, T*>>>
+  Span(const std::vector<U, Alloc>& v) : data_(v.data()), size_(v.size()) {}
+  template <class U, class Alloc,
+            class = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  Span(std::vector<U, Alloc>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace calu::util

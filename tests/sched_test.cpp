@@ -1,25 +1,31 @@
-// sched_test.cpp — thread team, queues, and the DAG executors on synthetic
-// graphs.
+// sched_test.cpp — thread team, queues, the lock-free deque, the engine
+// registry, and the DAG executors on synthetic graphs.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <random>
 #include <set>
+#include <string>
+#include <thread>
 
 #include "src/noise/noise.h"
+#include "src/sched/chase_lev_deque.h"
 #include "src/sched/dag.h"
 #include "src/sched/engine.h"
+#include "src/sched/engine_registry.h"
 #include "src/sched/task_queue.h"
 #include "src/sched/thread_team.h"
 
 namespace calu {
 namespace {
 
+using sched::ChaseLevDeque;
 using sched::kDynamicOwner;
 using sched::PriorityTaskQueue;
-using sched::StealDeque;
+using sched::ShardedReadyQueue;
 using sched::Task;
 using sched::TaskGraph;
 using sched::ThreadTeam;
@@ -88,8 +94,8 @@ TEST(PriorityTaskQueue, SizeAndEmpty) {
   EXPECT_FALSE(q.empty());
 }
 
-TEST(StealDeque, LifoOwnerFifoThief) {
-  StealDeque d;
+TEST(ChaseLevDeque, LifoOwnerFifoThief) {
+  ChaseLevDeque d;
   d.push_bottom(1);
   d.push_bottom(2);
   d.push_bottom(3);
@@ -102,6 +108,106 @@ TEST(StealDeque, LifoOwnerFifoThief) {
   EXPECT_EQ(t, 2);
   EXPECT_FALSE(d.pop_bottom(t));
   EXPECT_FALSE(d.steal_top(t));
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque d(/*initial_capacity=*/2);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) d.push_bottom(i);
+  EXPECT_EQ(d.size(), static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    int t = -1;
+    ASSERT_TRUE(d.pop_bottom(t));
+    EXPECT_EQ(t, i);
+  }
+  int t;
+  EXPECT_FALSE(d.pop_bottom(t));
+}
+
+// The contention stress test the lock-free claim rests on: one owner
+// pushing/popping at the bottom while several thieves hammer steal_top,
+// with a tiny initial ring so growth races steals.  Every task must be
+// executed exactly once — nothing lost, nothing double-executed.
+TEST(ChaseLevDeque, StressNoTaskLostOrDoubleExecuted) {
+  const int kTasks = 200000;
+  const int kThieves = 3;
+  ChaseLevDeque d(/*initial_capacity=*/4);
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  std::atomic<int> executed{0};
+
+  auto consume = [&](int id) {
+    hits[id].fetch_add(1, std::memory_order_relaxed);
+    executed.fetch_add(1, std::memory_order_acq_rel);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int w = 0; w < kThieves; ++w)
+    thieves.emplace_back([&] {
+      int t;
+      while (executed.load(std::memory_order_acquire) < kTasks)
+        if (d.steal_top(t)) consume(t);
+    });
+
+  // Owner: bursts of pushes interleaved with LIFO pops, then drain.
+  std::mt19937 rng(42);
+  int next = 0;
+  while (next < kTasks) {
+    const int burst =
+        std::min<int>(1 + static_cast<int>(rng() % 64), kTasks - next);
+    for (int i = 0; i < burst; ++i) d.push_bottom(next++);
+    for (int i = 0; i < burst / 2; ++i) {
+      int t;
+      if (d.pop_bottom(t)) consume(t);
+    }
+  }
+  int t;
+  while (executed.load(std::memory_order_acquire) < kTasks)
+    if (d.pop_bottom(t)) consume(t);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(executed.load(), kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ShardedReadyQueue, SingleShardKeepsStrictPriorityOrder) {
+  ShardedReadyQueue q(1);
+  q.push(30, 3);
+  q.push(10, 1);
+  q.push(20, 2);
+  int t;
+  ASSERT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t, 1);
+  ASSERT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t, 2);
+  ASSERT_TRUE(q.try_pop(t));
+  EXPECT_EQ(t, 3);
+  EXPECT_FALSE(q.try_pop(t));
+}
+
+TEST(ShardedReadyQueue, PoppersFindWorkOnAnyShard) {
+  ShardedReadyQueue q(4);
+  EXPECT_EQ(q.shards(), 4);
+  for (int i = 0; i < 100; ++i) q.push(i, i);
+  EXPECT_EQ(q.size(), 100u);
+  std::set<int> seen;
+  int t;
+  for (int pref = 0; q.try_pop(t, pref); pref = (pref + 1) % 4)
+    seen.insert(t);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ShardedReadyQueue, PushToTargetsShard) {
+  ShardedReadyQueue q(3);
+  q.push_to(2, 5, 42);
+  int t = -1;
+  // Preferred shard 2 must find it on the first probe; the scan from any
+  // other shard still reaches it.
+  ASSERT_TRUE(q.try_pop(t, 2));
+  EXPECT_EQ(t, 42);
 }
 
 // --------------------------------------------------------- TaskGraph ---
@@ -365,6 +471,134 @@ TEST(Executor, UntaggedTasksStillRunUnderLocalityPolicy) {
   sched::run_owner_queues(team, g, [&](int, int) { ran.fetch_add(1); },
                           hooks);
   EXPECT_EQ(ran.load(), 100);
+}
+
+// ---------------------------------------------- engine registry / interface
+
+TEST(EngineRegistry, BuiltinsAreRegistered) {
+  for (const char* name : {"hybrid", "locality-tags", "work-stealing"}) {
+    EXPECT_TRUE(sched::engine_registered(name)) << name;
+    auto eng = sched::make_engine(name);
+    ASSERT_NE(eng, nullptr) << name;
+    EXPECT_EQ(eng->name(), name);
+  }
+  const auto names = sched::engine_names();
+  EXPECT_GE(names.size(), 3u);
+}
+
+TEST(EngineRegistry, UnknownNameReturnsNull) {
+  EXPECT_EQ(sched::make_engine("no-such-engine"), nullptr);
+  EXPECT_FALSE(sched::engine_registered("no-such-engine"));
+}
+
+TEST(EngineRegistry, UnknownNameFallsBackToHybrid) {
+  // The driver path: a typo'd Options::engine must degrade to hybrid (with
+  // a stderr warning), never crash a release build on a null engine.
+  auto eng = sched::make_engine_or_default("no-such-engine");
+  ASSERT_NE(eng, nullptr);
+  EXPECT_EQ(eng->name(), "hybrid");
+}
+
+// A user-registered engine is first-class: it resolves by name and runs.
+// (It delegates to hybrid so the every-registered-engine DAG test below
+// stays meaningful if it executes after this one.)
+class DelegatingEngine final : public sched::Engine {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "test-delegating";
+    return n;
+  }
+  sched::EngineStats run(ThreadTeam& team, const TaskGraph& graph,
+                         const sched::ExecFn& exec,
+                         const sched::RunHooks& hooks) override {
+    return sched::make_engine("hybrid")->run(team, graph, exec, hooks);
+  }
+};
+
+TEST(EngineRegistry, UserEnginePlugsIn) {
+  const bool replaced = sched::register_engine(
+      "test-delegating", [] { return std::make_unique<DelegatingEngine>(); });
+  EXPECT_FALSE(replaced);
+  auto eng = sched::make_engine("test-delegating");
+  ASSERT_NE(eng, nullptr);
+  ThreadTeam team(2, false);
+  TaskGraph g;
+  for (int i = 0; i < 10; ++i) g.add_task(Task{});
+  g.finalize();
+  std::atomic<int> ran{0};
+  eng->run(team, g, [&](int, int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+// Every registered engine must execute a diamond DAG in dependency order:
+// 0 -> {1, 2} -> 3.
+TEST(EngineRegistry, EveryEngineRunsDiamondInDependencyOrder) {
+  for (const std::string& name : sched::engine_names()) {
+    auto eng = sched::make_engine(name);
+    ASSERT_NE(eng, nullptr) << name;
+    TaskGraph g;
+    for (int i = 0; i < 4; ++i) {
+      Task t;
+      t.priority = static_cast<std::uint64_t>(i);
+      t.owner = i == 1 ? 0 : kDynamicOwner;  // mix static and dynamic
+      t.tag = i % 2;
+      g.add_task(t);
+    }
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    g.finalize();
+    ThreadTeam team(4, false);
+    ExecLog log(4);
+    auto st = eng->run(team, g, [&](int id, int) { log.mark(id); });
+    EXPECT_EQ(log.counter.load(), 4) << name;
+    EXPECT_EQ(st.static_pops + st.dynamic_pops + st.steals, 4u) << name;
+    check_topological(g, log);
+  }
+}
+
+// The three built-in engines through the Engine interface on a random DAG:
+// every task exactly once, edges respected, counters add up.
+class EngineInterfaceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineInterfaceTest, RunsRandomDagExactlyOnce) {
+  auto eng = sched::make_engine(GetParam());
+  ASSERT_NE(eng, nullptr);
+  const int p = 4;
+  ThreadTeam team(p, false);
+  TaskGraph g = random_dag(800, 0.01, 7, p);
+  ExecLog log(g.num_tasks());
+  auto st = eng->run(team, g, [&](int id, int) { log.mark(id); });
+  EXPECT_EQ(log.counter.load(), g.num_tasks());
+  EXPECT_EQ(st.static_pops + st.dynamic_pops + st.steals,
+            static_cast<std::uint64_t>(g.num_tasks()));
+  check_topological(g, log);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineInterfaceTest,
+                         ::testing::Values("hybrid", "locality-tags",
+                                           "work-stealing"));
+
+TEST(EngineStats, MergeAccumulatesAndReportFormats) {
+  sched::EngineStats a, b;
+  a.static_pops = 5;
+  a.dynamic_pops = 2;
+  a.elapsed = 0.5;
+  b.static_pops = 1;
+  b.steals = 3;
+  b.steal_attempts = 9;
+  b.elapsed = 0.25;
+  a.merge(b);
+  EXPECT_EQ(a.static_pops, 6u);
+  EXPECT_EQ(a.dynamic_pops, 2u);
+  EXPECT_EQ(a.steals, 3u);
+  EXPECT_EQ(a.steal_attempts, 9u);
+  EXPECT_DOUBLE_EQ(a.elapsed, 0.5);  // max, not sum
+  const std::string r = a.report();
+  EXPECT_NE(r.find("static=6"), std::string::npos) << r;
+  EXPECT_NE(r.find("dynamic=2"), std::string::npos) << r;
+  EXPECT_NE(r.find("steals=3/9"), std::string::npos) << r;
 }
 
 TEST(Executor, HooksReceiveNoiseAndTrace) {
