@@ -66,8 +66,9 @@ inline Timing time_calu(const layout::Matrix& a0, core::Options opt,
     total.merge(f.stats.engine);
     runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats, {}});
   }
-  std::sort(runs.begin(), runs.end(),
-            [](const Timing& x, const Timing& y) { return x.seconds < y.seconds; });
+  std::sort(runs.begin(), runs.end(), [](const Timing& x, const Timing& y) {
+    return x.seconds < y.seconds;
+  });
   Timing median = runs[runs.size() / 2];
   median.engine_total = total;
   return median;
@@ -83,8 +84,9 @@ inline Timing time_getrf_pp(const layout::Matrix& a0, int b,
     total.merge(f.stats.engine);
     runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats, {}});
   }
-  std::sort(runs.begin(), runs.end(),
-            [](const Timing& x, const Timing& y) { return x.seconds < y.seconds; });
+  std::sort(runs.begin(), runs.end(), [](const Timing& x, const Timing& y) {
+    return x.seconds < y.seconds;
+  });
   Timing median = runs[runs.size() / 2];
   median.engine_total = total;
   return median;
@@ -102,8 +104,9 @@ inline Timing time_incpiv(const layout::Matrix& a0, int b,
     total.merge(f.stats.engine);
     runs.push_back({f.stats.factor_seconds, f.stats.gflops, f.stats, {}});
   }
-  std::sort(runs.begin(), runs.end(),
-            [](const Timing& x, const Timing& y) { return x.seconds < y.seconds; });
+  std::sort(runs.begin(), runs.end(), [](const Timing& x, const Timing& y) {
+    return x.seconds < y.seconds;
+  });
   Timing median = runs[runs.size() / 2];
   median.engine_total = total;
   return median;
@@ -120,7 +123,9 @@ inline void print_banner(const char* fig, const char* what,
   std::printf("# machine: %d hw threads; intel-class=%d, numa-class=%d; %s\n",
               sched::ThreadTeam::hardware_threads(), intel_threads(),
               numa_threads(),
-              full_scale() ? "FULL paper sizes" : "scaled sizes (CALU_BENCH_FULL=1 for paper sizes)");
+              full_scale()
+                  ? "FULL paper sizes"
+                  : "scaled sizes (CALU_BENCH_FULL=1 for paper sizes)");
 }
 
 }  // namespace calu::bench

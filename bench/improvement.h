@@ -13,8 +13,10 @@ inline void improvement_sweep(const char* fig, layout::Layout lay,
   print_banner(fig, "improvement of hybrid(10%/20%) over static & dynamic",
                paper_shape);
   std::printf("# layout=%s\n", layout::layout_name(lay));
-  std::printf("%-8s %-8s %-9s %-13s %-13s\n", "cores", "n", "hybrid%",
-              "vs-static%", "vs-dynamic%");
+  // packs/step: operand packs feeding the S gemms per factorization step —
+  // O(nb) with the pack-once arena (pL/pU tasks), O(nb^2) without.
+  std::printf("%-8s %-8s %-9s %-13s %-13s %-10s\n", "cores", "n", "hybrid%",
+              "vs-static%", "vs-dynamic%", "packs/step");
   const int all = numa_threads();
   for (int threads : {std::max(1, all / 2), all}) {
     sched::ThreadTeam team(threads, true);
@@ -31,9 +33,11 @@ inline void improvement_sweep(const char* fig, layout::Layout lay,
         opt.schedule = core::Schedule::Hybrid;
         opt.dratio = d;
         const Timing th = time_calu(a0, opt, team);
-        std::printf("%-8d %-8d %-9.0f %-13.1f %-13.1f\n", threads, n, d * 100,
-                    (ts.seconds / th.seconds - 1.0) * 100.0,
-                    (td.seconds / th.seconds - 1.0) * 100.0);
+        std::printf("%-8d %-8d %-9.0f %-13.1f %-13.1f %-10.1f\n", threads, n,
+                    d * 100, (ts.seconds / th.seconds - 1.0) * 100.0,
+                    (td.seconds / th.seconds - 1.0) * 100.0,
+                    static_cast<double>(th.stats.s_operand_packs) /
+                        std::max(1, th.stats.npanels));
       }
       std::fflush(stdout);
     }

@@ -2,8 +2,21 @@
 // substrate: gemm, trsm, GEPP variants, TSLU.  These support every figure:
 // all schedulers share this kernel layer, so relative comparisons between
 // schedules are kernel-independent.
+//
+// `--json[=path]` (default BENCH_kernels.json) switches to a self-timed
+// mode that sweeps every dispatched kernel variant over gemm/trsm at the
+// paper's tile sizes and writes machine-readable GFLOP/s, giving later
+// PRs a perf trajectory to compare against (bench/run_bench.sh drives
+// it).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+#include "src/blas/microkernel.h"
 #include "src/calu.h"
 
 namespace {
@@ -118,6 +131,120 @@ BENCHMARK(BM_DequeueOverhead)
     ->ArgsProduct({{1, 4, 8}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------- --json mode ---
+
+/// Seconds per call, doubling reps until the timed window is long enough
+/// to trust the clock.
+double seconds_of(const std::function<void()>& fn) {
+  fn();  // warm-up: faults in pack scratch, settles the dispatch
+  int iters = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (dt >= 0.1) return dt / iters;
+    iters *= 2;
+  }
+}
+
+double gflops_of(double flops, const std::function<void()>& fn) {
+  return flops / seconds_of(fn) * 1e-9;
+}
+
+int run_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  const blas::CacheInfo ci = blas::cache_info();
+  std::fprintf(f, "{\n  \"bench\": \"kernels_microbench\",\n");
+  std::fprintf(f,
+               "  \"host\": {\"hardware_threads\": %d, \"l1\": %ld, "
+               "\"l2\": %ld, \"l3\": %ld},\n",
+               sched::ThreadTeam::hardware_threads(), ci.l1, ci.l2, ci.l3);
+  std::fprintf(f, "  \"kernels\": [\n");
+  const std::vector<std::string> names = blas::available_kernels();
+  for (std::size_t ki = 0; ki < names.size(); ++ki) {
+    blas::select_kernel(names[ki].c_str());
+    const blas::MicroKernel& mk = blas::active_kernel();
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"mr\": %d, \"nr\": %d, "
+                 "\"mc\": %d, \"kc\": %d, \"nc\": %d,\n",
+                 mk.name, mk.mr, mk.nr, mk.mc, mk.kc, mk.nc);
+    // Square gemm at the paper's tile size (b = 100), the bench default
+    // (128), and two multi-tile sizes.
+    std::fprintf(f, "     \"gemm_gflops\": {");
+    const int gemm_sizes[] = {100, 128, 256, 512};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const int n = gemm_sizes[i];
+      auto a = layout::Matrix::random(n, n, 1);
+      auto b = layout::Matrix::random(n, n, 2);
+      auto c = layout::Matrix::random(n, n, 3);
+      const double g = gflops_of(2.0 * n * n * n, [&] {
+        blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(),
+                   n, b.data(), n, 1.0, c.data(), n);
+      });
+      std::fprintf(f, "%s\"%d\": %.2f", i ? ", " : "", n, g);
+    }
+    std::fprintf(f, "},\n");
+    // The S-task shape: (g*b x b) -= (g*b x b) * (b x b), group g.
+    std::fprintf(f, "     \"s_update_gflops\": {");
+    for (int g = 1; g <= 3; ++g) {
+      const int b = 128;
+      auto l = layout::Matrix::random(g * b, b, 1);
+      auto u = layout::Matrix::random(b, b, 2);
+      auto c = layout::Matrix::random(g * b, b, 3);
+      const double gf = gflops_of(2.0 * g * b * b * b, [&] {
+        blas::gemm(blas::Trans::No, blas::Trans::No, g * b, b, b, -1.0,
+                   l.data(), g * b, u.data(), b, 1.0, c.data(), g * b);
+      });
+      std::fprintf(f, "%s\"%d\": %.2f", g > 1 ? ", " : "", g, gf);
+    }
+    std::fprintf(f, "},\n");
+    // trsm at tile sizes (unit-lower left solve, the U-task operator).
+    std::fprintf(f, "     \"trsm_gflops\": {");
+    const int trsm_sizes[] = {100, 128, 256};
+    for (std::size_t i = 0; i < 3; ++i) {
+      const int n = trsm_sizes[i];
+      auto t = layout::Matrix::diag_dominant(n, 1);
+      auto b0 = layout::Matrix::random(n, n, 2);
+      auto x = b0;
+      // The solve mutates x, so each rep restores it first; subtract the
+      // measured copy cost so the number is the kernel's, not memcpy's.
+      const double s_solve = seconds_of([&] {
+        x = b0;
+        blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+                   blas::Diag::Unit, n, n, 1.0, t.data(), n, x.data(), n);
+      });
+      const double s_copy = seconds_of([&] { x = b0; });
+      const double g =
+          1.0 * n * n * n / std::max(s_solve - s_copy, 1e-9) * 1e-9;
+      std::fprintf(f, "%s\"%d\": %.2f", i ? ", " : "", n, g);
+    }
+    std::fprintf(f, "}}%s\n", ki + 1 < names.size() ? "," : "");
+  }
+  blas::select_kernel(nullptr);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return run_json(argv[i] + 7);
+    if (std::strcmp(argv[i], "--json") == 0) {
+      // Accept both "--json path" and bare "--json" (default path).
+      if (i + 1 < argc && argv[i + 1][0] != '-') return run_json(argv[i + 1]);
+      return run_json("BENCH_kernels.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

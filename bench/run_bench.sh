@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# run_bench.sh — build the bench targets and emit the perf-trajectory
+# artifacts.
+#
+#   bench/run_bench.sh [output.json]
+#
+# Writes BENCH_kernels.json (default) at the repo root: single-thread
+# GFLOP/s of gemm/trsm at the paper's tile sizes for every dispatched
+# micro-kernel variant.  Later PRs compare their numbers against the
+# committed trajectory of these files.
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build)
+#   CALU_KERNEL force one kernel variant for the google-benchmark mode
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+out="${1:-$repo/BENCH_kernels.json}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release -DCALU_BUILD_BENCH=ON
+cmake --build "$build" -j"$(nproc)" --target kernels_microbench
+
+"$build/kernels_microbench" --json="$out"

@@ -11,6 +11,7 @@
 // i.e. the LAPACK convention shifted to 0-based indexing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -22,12 +23,43 @@ enum class UpLo : std::uint8_t { Lower, Upper };
 enum class Diag : std::uint8_t { Unit, NonUnit };
 
 /// C := alpha*op(A)*op(B) + beta*C.  op(A) is m x k, op(B) is k x n.
-/// Blocked with a register micro-kernel; falls back to a naive loop for
-/// tiny problems.  Supports No/No, No/Yes and Yes/No transpose pairs
-/// (all the factorization needs).
+/// Blocked, with a runtime-dispatched SIMD register micro-kernel
+/// (microkernel.h); falls back to a naive loop for tiny problems.
+/// Supports No/No, No/Yes and Yes/No transpose pairs (all the
+/// factorization needs).
 void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
           const double* a, int lda, const double* b, int ldb, double beta,
           double* c, int ldc);
+
+// --- pre-packed operand interface -------------------------------------
+//
+// The trailing-update (S) hot path packs each L panel and U block row
+// exactly once per factorization step and feeds every S task the shared
+// packed copy (O(nb) packs per step instead of O(nb^2)).  Pack layout is
+// the active micro-kernel's: mr-row / nr-column strips, zero-padded to
+// full strips, split into kc-deep blocks.  Buffers must be 64-byte
+// aligned (util::AlignedBuffer) and pack/consume must run under the same
+// selected kernel — the selection is process-wide and fixed outside
+// tests, so this only constrains select_kernel() callers.
+
+/// Doubles needed for a packed m x k panel of op(A) / k x n panel of
+/// op(B), padding included.
+std::size_t packed_a_size(int m, int k);
+std::size_t packed_b_size(int k, int n);
+
+/// Pack op(A) (m x k) / op(B) (k x n) into `buf`.
+void gemm_pack_a(Trans ta, int m, int k, const double* a, int lda,
+                 double* buf);
+void gemm_pack_b(Trans tb, int k, int n, const double* b, int ldb,
+                 double* buf);
+
+/// C := alpha * A * B + C over pre-packed operands (pure accumulate; the
+/// kernels never scale C, so beta handling stays with the caller).  For a
+/// fixed kernel variant the result is bit-identical for any split of the
+/// row range across separate pack/compute calls — what makes
+/// pack-once-per-panel equivalent to pack-per-task.
+void gemm_packed(int m, int n, int k, double alpha, const double* apack,
+                 const double* bpack, double* c, int ldc);
 
 /// Triangular solve with multiple right-hand sides:
 ///   Side::Left :  B := alpha * op(T)^{-1} * B   (T is m x m)

@@ -1,25 +1,24 @@
-// gemm.cpp — blocked GEMM with a register micro-kernel.
+// gemm.cpp — blocked GEMM over the runtime-dispatched register kernels.
 //
 // Structure follows the classic Goto/BLIS decomposition: loop over column
-// panels of B (NC), over depth panels (KC, packed copy of both operands),
-// over row panels of A (MC), with an MR x NR register kernel innermost.
-// Plain C++ that the compiler auto-vectorizes under -O3 -march=native; the
-// point of this layer is a *shared, reasonable* kernel for every scheduler
-// and baseline in the repo, so relative comparisons are meaningful.
+// panels of B (nc), over depth panels (kc, packed copy of both operands),
+// over row panels of A (mc), with an mr x nr register kernel innermost.
+// The register kernel and the cache blocking come from the dispatch table
+// in microkernel.h (AVX-512 / AVX2+FMA / portable C++), selected once at
+// startup.  The packing helpers and the pre-packed entry point are public
+// (blas.h) so the factorization can pack a panel once per step and share
+// it across every trailing-update task.
 #include "src/blas/blas.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstring>
 
+#include "src/blas/microkernel.h"
+#include "src/util/aligned_buffer.h"
+
 namespace calu::blas {
 namespace {
-
-constexpr int kMR = 8;
-constexpr int kNR = 4;
-constexpr int kMC = 256;
-constexpr int kKC = 256;
-constexpr int kNC = 4096;
 
 // Element of op(X) at (i, j) for a column-major X with leading dim ld.
 inline double elem(const double* x, int ld, Trans t, int i, int j) {
@@ -51,52 +50,111 @@ void gemm_naive(Trans ta, Trans tb, int m, int n, int k, double alpha,
   }
 }
 
-// Pack an mc x kc panel of op(A) into row-major-by-MR-strips layout.
-void pack_a(Trans ta, const double* a, int lda, int i0, int p0, int mc, int kc,
-            double* buf) {
-  for (int i = 0; i < mc; i += kMR) {
-    const int mr = std::min(kMR, mc - i);
+// Pack an mc x kc block of op(A) into row-major-by-mr-strips layout.
+void pack_a_block(Trans ta, const double* a, int lda, int i0, int p0, int mc,
+                  int kc, int mr, double* buf) {
+  for (int i = 0; i < mc; i += mr) {
+    const int rows = std::min(mr, mc - i);
+    if (ta == Trans::No && rows == mr) {
+      // Contiguous column loads: the common No-trans full-strip case.
+      for (int p = 0; p < kc; ++p) {
+        const double* col =
+            a + (i0 + i) + static_cast<std::size_t>(p0 + p) * lda;
+        std::memcpy(buf, col, sizeof(double) * mr);
+        buf += mr;
+      }
+      continue;
+    }
     for (int p = 0; p < kc; ++p) {
-      for (int r = 0; r < mr; ++r) *buf++ = elem(a, lda, ta, i0 + i + r, p0 + p);
-      for (int r = mr; r < kMR; ++r) *buf++ = 0.0;
+      for (int r = 0; r < rows; ++r)
+        *buf++ = elem(a, lda, ta, i0 + i + r, p0 + p);
+      for (int r = rows; r < mr; ++r) *buf++ = 0.0;
     }
   }
 }
 
-// Pack a kc x nc panel of op(B) into column-strips of width NR.
-void pack_b(Trans tb, const double* b, int ldb, int p0, int j0, int kc, int nc,
-            double* buf) {
-  for (int j = 0; j < nc; j += kNR) {
-    const int nr = std::min(kNR, nc - j);
+// Pack a kc x nc block of op(B) into column-strips of width nr.
+void pack_b_block(Trans tb, const double* b, int ldb, int p0, int j0, int kc,
+                  int nc, int nr, double* buf) {
+  for (int j = 0; j < nc; j += nr) {
+    const int cols = std::min(nr, nc - j);
     for (int p = 0; p < kc; ++p) {
-      for (int r = 0; r < nr; ++r) *buf++ = elem(b, ldb, tb, p0 + p, j0 + j + r);
-      for (int r = nr; r < kNR; ++r) *buf++ = 0.0;
+      for (int r = 0; r < cols; ++r)
+        *buf++ = elem(b, ldb, tb, p0 + p, j0 + j + r);
+      for (int r = cols; r < nr; ++r) *buf++ = 0.0;
     }
   }
 }
 
-// MR x NR register kernel: C += alpha * Apanel * Bpanel over kc, then
-// written back through the edge mask (mr, nr).
-void micro_kernel(int kc, double alpha, const double* ap, const double* bp,
-                  double* c, int ldc, int mr, int nr) {
-  double acc[kMR * kNR] = {};
-  for (int p = 0; p < kc; ++p) {
-    const double* a = ap + static_cast<std::size_t>(p) * kMR;
-    const double* b = bp + static_cast<std::size_t>(p) * kNR;
-    for (int j = 0; j < kNR; ++j) {
-      const double bj = b[j];
-      double* accj = acc + j * kMR;
-      for (int i = 0; i < kMR; ++i) accj[i] += a[i] * bj;
+inline std::size_t round_up(std::size_t v, std::size_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+// Sweep the register kernel over one packed (m-rows x kc) x (kc x n-cols)
+// block pair, accumulating into C.  `ap`/`bp` point at the block's strips.
+void kernel_sweep(const MicroKernel& mk, int m, int n, int kc, double alpha,
+                  const double* ap, const double* bp, double* c, int ldc) {
+  for (int jr = 0; jr < n; jr += mk.nr) {
+    const int nr = std::min(mk.nr, n - jr);
+    const double* bs = bp + static_cast<std::size_t>(jr) * kc;
+    for (int ir = 0; ir < m; ir += mk.mr) {
+      const int mr = std::min(mk.mr, m - ir);
+      mk.fn(kc, alpha, ap + static_cast<std::size_t>(ir) * kc, bs,
+            c + ir + static_cast<std::size_t>(jr) * ldc, ldc, mr, nr);
     }
   }
-  for (int j = 0; j < nr; ++j) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
-    const double* accj = acc + j * kMR;
-    for (int i = 0; i < mr; ++i) cj[i] += alpha * accj[i];
-  }
 }
+
+// Grow-only 64-byte-aligned per-thread pack scratch (SIMD loads require
+// the alignment; std::vector cannot guarantee it).
+thread_local util::AlignedBuffer tl_abuf;
+thread_local util::AlignedBuffer tl_bbuf;
 
 }  // namespace
+
+std::size_t packed_a_size(int m, int k) {
+  return round_up(m, active_kernel().mr) * static_cast<std::size_t>(k);
+}
+
+std::size_t packed_b_size(int k, int n) {
+  return static_cast<std::size_t>(k) * round_up(n, active_kernel().nr);
+}
+
+void gemm_pack_a(Trans ta, int m, int k, const double* a, int lda,
+                 double* buf) {
+  const MicroKernel& mk = active_kernel();
+  const std::size_t rows = round_up(m, mk.mr);
+  for (int pc = 0; pc < k; pc += mk.kc) {
+    const int kc = std::min(mk.kc, k - pc);
+    pack_a_block(ta, a, lda, 0, pc, m, kc, mk.mr, buf);
+    buf += rows * kc;
+  }
+}
+
+void gemm_pack_b(Trans tb, int k, int n, const double* b, int ldb,
+                 double* buf) {
+  const MicroKernel& mk = active_kernel();
+  const std::size_t cols = round_up(n, mk.nr);
+  for (int pc = 0; pc < k; pc += mk.kc) {
+    const int kc = std::min(mk.kc, k - pc);
+    pack_b_block(tb, b, ldb, pc, 0, kc, n, mk.nr, buf);
+    buf += static_cast<std::size_t>(kc) * cols;
+  }
+}
+
+void gemm_packed(int m, int n, int k, double alpha, const double* apack,
+                 const double* bpack, double* c, int ldc) {
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  const MicroKernel& mk = active_kernel();
+  const std::size_t a_rows = round_up(m, mk.mr);
+  const std::size_t b_cols = round_up(n, mk.nr);
+  for (int pc = 0; pc < k; pc += mk.kc) {
+    const int kc = std::min(mk.kc, k - pc);
+    kernel_sweep(mk, m, n, kc, alpha, apack, bpack, c, ldc);
+    apack += a_rows * kc;
+    bpack += static_cast<std::size_t>(kc) * b_cols;
+  }
+}
 
 void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
           const double* a, int lda, const double* b, int ldb, double beta,
@@ -131,36 +189,27 @@ void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
 
   // Pack buffers sized to this call (rounded to full register strips), not
   // to the blocking maxima: tile-sized calls would otherwise fault in
-  // megabytes of scratch on each thread's first GEMM.
-  thread_local std::vector<double> abuf, bbuf;
-  const int mc_max = std::min(kMC, (m + kMR - 1) / kMR * kMR);
-  const int nc_max = std::min(kNC, (n + kNR - 1) / kNR * kNR);
-  const int kc_max = std::min(kKC, k);
-  if (abuf.size() < static_cast<std::size_t>(mc_max) * kc_max)
-    abuf.resize(static_cast<std::size_t>(mc_max) * kc_max);
-  if (bbuf.size() < static_cast<std::size_t>(kc_max) * nc_max)
-    bbuf.resize(static_cast<std::size_t>(kc_max) * nc_max);
+  // megabytes of scratch on each thread's first GEMM.  mc/nc are strip
+  // multiples (derive_blocking), so every panel's padded pack fits.
+  const MicroKernel& mk = active_kernel();
+  const int mc_max =
+      static_cast<int>(round_up(std::min(mk.mc, m), mk.mr));
+  const int nc_max =
+      static_cast<int>(round_up(std::min(mk.nc, n), mk.nr));
+  const int kc_max = std::min(mk.kc, k);
+  tl_abuf.reserve(static_cast<std::size_t>(mc_max) * kc_max);
+  tl_bbuf.reserve(static_cast<std::size_t>(kc_max) * nc_max);
 
-  for (int jc = 0; jc < n; jc += kNC) {
-    const int nc = std::min(kNC, n - jc);
-    for (int pc = 0; pc < k; pc += kKC) {
-      const int kc = std::min(kKC, k - pc);
-      pack_b(tb, b, ldb, pc, jc, kc, nc, bbuf.data());
-      for (int ic = 0; ic < m; ic += kMC) {
-        const int mc = std::min(kMC, m - ic);
-        pack_a(ta, a, lda, ic, pc, mc, kc, abuf.data());
-        for (int jr = 0; jr < nc; jr += kNR) {
-          const int nr = std::min(kNR, nc - jr);
-          const double* bp = bbuf.data() + static_cast<std::size_t>(jr) * kc;
-          for (int ir = 0; ir < mc; ir += kMR) {
-            const int mr = std::min(kMR, mc - ir);
-            const double* ap = abuf.data() + static_cast<std::size_t>(ir) * kc;
-            micro_kernel(kc, alpha, ap, bp,
-                         c + (ic + ir) +
-                             static_cast<std::size_t>(jc + jr) * ldc,
-                         ldc, mr, nr);
-          }
-        }
+  for (int jc = 0; jc < n; jc += mk.nc) {
+    const int nc = std::min(mk.nc, n - jc);
+    for (int pc = 0; pc < k; pc += mk.kc) {
+      const int kc = std::min(mk.kc, k - pc);
+      pack_b_block(tb, b, ldb, pc, jc, kc, nc, mk.nr, tl_bbuf.data());
+      for (int ic = 0; ic < m; ic += mk.mc) {
+        const int mc = std::min(mk.mc, m - ic);
+        pack_a_block(ta, a, lda, ic, pc, mc, kc, mk.mr, tl_abuf.data());
+        kernel_sweep(mk, mc, nc, kc, alpha, tl_abuf.data(), tl_bbuf.data(),
+                     c + ic + static_cast<std::size_t>(jc) * ldc, ldc);
       }
     }
   }

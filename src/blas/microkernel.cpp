@@ -1,0 +1,277 @@
+// microkernel.cpp — the register kernels and the startup dispatch.
+//
+// Each SIMD kernel always accumulates the full (padded) register tile with
+// vector FMAs and only masks the write-back; the edge write-back uses
+// scalar std::fma so it rounds exactly like the vector path (see the
+// numerical contract in microkernel.h).
+#include "src/blas/microkernel.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CALU_X86 1
+#include <immintrin.h>
+#else
+#define CALU_X86 0
+#endif
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace calu::blas {
+namespace {
+
+// ------------------------------------------------------ generic kernel ---
+
+template <int MR, int NR>
+void kernel_c(int kc, double alpha, const double* ap, const double* bp,
+              double* c, int ldc, int mr, int nr) {
+  double acc[MR * NR] = {};
+  for (int p = 0; p < kc; ++p) {
+    const double* a = ap + static_cast<std::size_t>(p) * MR;
+    const double* b = bp + static_cast<std::size_t>(p) * NR;
+    for (int j = 0; j < NR; ++j) {
+      const double bj = b[j];
+      double* accj = acc + j * MR;
+      for (int i = 0; i < MR; ++i) accj[i] += a[i] * bj;
+    }
+  }
+  for (int j = 0; j < nr; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    const double* accj = acc + j * MR;
+    for (int i = 0; i < mr; ++i) cj[i] += alpha * accj[i];
+  }
+}
+
+#if CALU_X86
+
+// --------------------------------------------------------- avx2 kernel ---
+// 8x6: 12 ymm accumulators + 2 A vectors + 1 broadcast = 15 of 16 regs.
+
+__attribute__((target("avx2,fma"))) void kernel_avx2(
+    int kc, double alpha, const double* ap, const double* bp, double* c,
+    int ldc, int mr, int nr) {
+  __m256d acc0[6], acc1[6];
+  for (int j = 0; j < 6; ++j) acc0[j] = acc1[j] = _mm256_setzero_pd();
+  for (int p = 0; p < kc; ++p) {
+    const __m256d a0 = _mm256_loadu_pd(ap);
+    const __m256d a1 = _mm256_loadu_pd(ap + 4);
+    ap += 8;
+    for (int j = 0; j < 6; ++j) {
+      const __m256d b = _mm256_set1_pd(bp[j]);
+      acc0[j] = _mm256_fmadd_pd(a0, b, acc0[j]);
+      acc1[j] = _mm256_fmadd_pd(a1, b, acc1[j]);
+    }
+    bp += 6;
+  }
+  if (mr == 8 && nr == 6) {
+    const __m256d av = _mm256_set1_pd(alpha);
+    for (int j = 0; j < 6; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      _mm256_storeu_pd(cj,
+                       _mm256_fmadd_pd(av, acc0[j], _mm256_loadu_pd(cj)));
+      _mm256_storeu_pd(
+          cj + 4, _mm256_fmadd_pd(av, acc1[j], _mm256_loadu_pd(cj + 4)));
+    }
+    return;
+  }
+  double tmp[8 * 6];
+  for (int j = 0; j < 6; ++j) {
+    _mm256_storeu_pd(tmp + j * 8, acc0[j]);
+    _mm256_storeu_pd(tmp + j * 8 + 4, acc1[j]);
+  }
+  for (int j = 0; j < nr; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < mr; ++i) cj[i] = std::fma(alpha, tmp[j * 8 + i], cj[i]);
+  }
+}
+
+// ------------------------------------------------------- avx512 kernel ---
+// 24x8: 24 zmm accumulators + 3 A vectors + 1 broadcast = 28 of 32 regs
+// (the BLIS Skylake shape).
+
+__attribute__((target("avx512f"))) void kernel_avx512(
+    int kc, double alpha, const double* ap, const double* bp, double* c,
+    int ldc, int mr, int nr) {
+  __m512d acc0[8], acc1[8], acc2[8];
+  for (int j = 0; j < 8; ++j) acc0[j] = acc1[j] = acc2[j] = _mm512_setzero_pd();
+  for (int p = 0; p < kc; ++p) {
+    const __m512d a0 = _mm512_loadu_pd(ap);
+    const __m512d a1 = _mm512_loadu_pd(ap + 8);
+    const __m512d a2 = _mm512_loadu_pd(ap + 16);
+    ap += 24;
+    for (int j = 0; j < 8; ++j) {
+      const __m512d b = _mm512_set1_pd(bp[j]);
+      acc0[j] = _mm512_fmadd_pd(a0, b, acc0[j]);
+      acc1[j] = _mm512_fmadd_pd(a1, b, acc1[j]);
+      acc2[j] = _mm512_fmadd_pd(a2, b, acc2[j]);
+    }
+    bp += 8;
+  }
+  if (mr == 24 && nr == 8) {
+    const __m512d av = _mm512_set1_pd(alpha);
+    for (int j = 0; j < 8; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      _mm512_storeu_pd(cj,
+                       _mm512_fmadd_pd(av, acc0[j], _mm512_loadu_pd(cj)));
+      _mm512_storeu_pd(
+          cj + 8, _mm512_fmadd_pd(av, acc1[j], _mm512_loadu_pd(cj + 8)));
+      _mm512_storeu_pd(
+          cj + 16, _mm512_fmadd_pd(av, acc2[j], _mm512_loadu_pd(cj + 16)));
+    }
+    return;
+  }
+  double tmp[24 * 8];
+  for (int j = 0; j < 8; ++j) {
+    _mm512_storeu_pd(tmp + j * 24, acc0[j]);
+    _mm512_storeu_pd(tmp + j * 24 + 8, acc1[j]);
+    _mm512_storeu_pd(tmp + j * 24 + 16, acc2[j]);
+  }
+  for (int j = 0; j < nr; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < mr; ++i)
+      cj[i] = std::fma(alpha, tmp[j * 24 + i], cj[i]);
+  }
+}
+
+#endif  // CALU_X86
+
+// --------------------------------------------- cache-derived blocking ---
+
+long cache_level_size(int level) {
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const int names[] = {_SC_LEVEL1_DCACHE_SIZE, _SC_LEVEL2_CACHE_SIZE,
+                       _SC_LEVEL3_CACHE_SIZE};
+  const long v = sysconf(names[level - 1]);
+  if (v > 0) return v;
+#endif
+  const long defaults[] = {32L << 10, 512L << 10, 8L << 20};
+  return defaults[level - 1];
+}
+
+// Clamp to [lo, hi], then round down to a multiple of `unit` (never below
+// `unit`).  The unit rounding comes last: mc/nc MUST end up multiples of
+// the register strip or the pack would write a padded partial strip past
+// the mc x kc / kc x nc scratch sizing.
+int round_block(long v, int unit, long lo, long hi) {
+  long r = v < lo ? lo : (v > hi ? hi : v);
+  r = r / unit * unit;
+  if (r < unit) r = unit;
+  return static_cast<int>(r);
+}
+
+/// Classic Goto sizing: the kc-deep A and B register strips together stay
+/// resident in L1, an mc x kc packed A block in ~half of L2, a kc x nc
+/// packed B panel in ~half of L3.
+void derive_blocking(MicroKernel& k, const CacheInfo& ci) {
+  const long kc = ci.l1 / (8L * (k.mr + k.nr));
+  k.kc = round_block(kc, 8, 128, 512);
+  k.mc = round_block(ci.l2 / (2L * 8L * k.kc), k.mr, 4L * k.mr, 1536);
+  k.nc = round_block(ci.l3 / (2L * 8L * k.kc), k.nr, 16L * k.nr, 8192);
+}
+
+// ------------------------------------------------------------ dispatch ---
+
+std::vector<MicroKernel> build_table() {
+  const CacheInfo ci = cache_info();
+  std::vector<MicroKernel> t;
+#if CALU_X86
+  if (__builtin_cpu_supports("avx512f")) {
+    MicroKernel k;
+    k.name = "avx512";
+    k.mr = 24;
+    k.nr = 8;
+    k.fn = kernel_avx512;
+    derive_blocking(k, ci);
+    t.push_back(k);
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    MicroKernel k;
+    k.name = "avx2";
+    k.mr = 8;
+    k.nr = 6;
+    k.fn = kernel_avx2;
+    derive_blocking(k, ci);
+    t.push_back(k);
+  }
+#endif
+  MicroKernel k;
+  k.name = "generic";
+  k.mr = 8;
+  k.nr = 4;
+  k.fn = kernel_c<8, 4>;
+  derive_blocking(k, ci);
+  t.push_back(k);
+  return t;
+}
+
+const std::vector<MicroKernel>& kernel_table() {
+  static const std::vector<MicroKernel> table = build_table();
+  return table;
+}
+
+const MicroKernel* auto_pick() {
+  const std::vector<MicroKernel>& t = kernel_table();
+  if (const char* env = std::getenv("CALU_KERNEL")) {
+    for (const MicroKernel& k : t)
+      if (std::strcmp(k.name, env) == 0) return &k;
+    // A typo'd pin silently running the best SIMD kernel would defeat
+    // e.g. CI's generic-path conformance run — fail loudly instead.
+    std::fprintf(stderr,
+                 "calu: CALU_KERNEL=%s is unknown/unsupported here "
+                 "(have:", env);
+    for (const MicroKernel& k : t) std::fprintf(stderr, " %s", k.name);
+    std::fprintf(stderr, "); aborting\n");
+    std::abort();
+  }
+  return &t.front();  // best supported first
+}
+
+std::atomic<const MicroKernel*> g_active{nullptr};
+
+}  // namespace
+
+const MicroKernel& active_kernel() {
+  const MicroKernel* k = g_active.load(std::memory_order_acquire);
+  if (!k) {
+    // Benign race: concurrent first callers compute the same answer.
+    k = auto_pick();
+    g_active.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+bool select_kernel(const char* name) {
+  if (name == nullptr || name[0] == '\0') {
+    g_active.store(auto_pick(), std::memory_order_release);
+    return true;
+  }
+  for (const MicroKernel& k : kernel_table()) {
+    if (std::strcmp(k.name, name) == 0) {
+      g_active.store(&k, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> available_kernels() {
+  std::vector<std::string> names;
+  for (const MicroKernel& k : kernel_table()) names.emplace_back(k.name);
+  return names;
+}
+
+CacheInfo cache_info() {
+  CacheInfo ci;
+  ci.l1 = cache_level_size(1);
+  ci.l2 = cache_level_size(2);
+  ci.l3 = cache_level_size(3);
+  return ci;
+}
+
+}  // namespace calu::blas

@@ -1,0 +1,70 @@
+// microkernel.h — runtime-dispatched GEMM register micro-kernels.
+//
+// The paper's premise is that the sequential kernels are *already
+// optimized*; the scheduler comparison is only meaningful if S tasks run
+// near peak.  This layer provides the register kernel of the Goto/BLIS
+// decomposition as a function-pointer table selected once at startup:
+//
+//   "avx512"  — 24x8 kernel on 512-bit vectors (__builtin_cpu_supports)
+//   "avx2"    — 8x6 kernel on 256-bit FMA vectors
+//   "generic" — 8x4 portable C++ kernel (always available; the fallback)
+//
+// Cache blocking (mc/kc/nc) is derived from the detected L1/L2/L3 sizes
+// instead of hard-coded constants, so the same binary blocks sensibly on
+// any host.  All kernels consume operands packed by gemm_pack_a/_b
+// (blas.h): A in mr-row strips, B in nr-column strips, zero-padded to full
+// strips, split into kc-deep blocks.
+//
+// Numerical contract: for a fixed kernel variant, the value written to any
+// C element depends only on (its row of packed A, its column of packed B,
+// alpha) — never on strip boundaries or on whether the edge or the full
+// write-back path ran.  That is what makes "pack once per panel" vs "pack
+// per task" bit-identical, and it is enforced by using fused
+// multiply-adds in both the vector and the edge write-back of the SIMD
+// kernels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace calu::blas {
+
+/// C(0:mr, 0:nr) += alpha * Apanel * Bpanel over a kc-deep packed block.
+/// `ap` is an mr_max-row strip (kc entries of mr_max values), `bp` an
+/// nr_max-column strip; mr/nr mask the write-back for edge tiles (the
+/// packed data itself is always padded to the full strip).
+using MicroKernelFn = void (*)(int kc, double alpha, const double* ap,
+                               const double* bp, double* c, int ldc, int mr,
+                               int nr);
+
+struct MicroKernel {
+  const char* name = "generic";
+  int mr = 8, nr = 4;  // register tile
+  int mc = 256, kc = 256, nc = 4096;  // cache blocking (derived at startup)
+  MicroKernelFn fn = nullptr;
+};
+
+/// The kernel the process dispatches to.  Selected once (thread-safe, on
+/// first use) as: $CALU_KERNEL if set, else the best variant the CPU
+/// supports.  A CALU_KERNEL naming no available variant aborts — a
+/// silently ignored pin would defeat CI's forced-generic conformance run.
+const MicroKernel& active_kernel();
+
+/// Forces a variant by name ("avx512", "avx2", "generic"); nullptr or ""
+/// restores automatic selection.  Returns false (and leaves the selection
+/// unchanged) if the name is unknown or unsupported on this CPU.  Not
+/// thread-safe against concurrent gemm calls — a test/bench hook; call it
+/// only from single-threaded sections.
+bool select_kernel(const char* name);
+
+/// Variants supported on this CPU, best first.
+std::vector<std::string> available_kernels();
+
+/// Detected cache sizes in bytes (fallback defaults when undetectable);
+/// exposed for tests and bench reporting.
+struct CacheInfo {
+  long l1 = 0, l2 = 0, l3 = 0;
+};
+CacheInfo cache_info();
+
+}  // namespace calu::blas

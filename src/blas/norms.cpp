@@ -80,7 +80,8 @@ double lu_residual(int m, int n, const double* a0, int lda0, const double* lu,
   const double na = norm_inf(m, n, a0, lda0);
   const double nr = norm_inf(m, n, r.data(), m);
   const double eps = std::numeric_limits<double>::epsilon();
-  if (na == 0.0) return nr == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  if (na == 0.0)
+    return nr == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
   return nr / (na * std::max(m, n) * eps);
 }
 
@@ -90,7 +91,8 @@ double growth_factor(int m, int n, const double* a0, int lda0,
   double umax = 0.0;
   for (int j = 0; j < n; ++j)
     for (int i = 0; i <= std::min(j, kmin - 1); ++i)
-      umax = std::max(umax, std::fabs(lu[i + static_cast<std::size_t>(j) * ldlu]));
+      umax = std::max(
+          umax, std::fabs(lu[i + static_cast<std::size_t>(j) * ldlu]));
   const double amax = norm_max(m, n, a0, lda0);
   return amax == 0.0 ? 0.0 : umax / amax;
 }

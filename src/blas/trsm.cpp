@@ -9,6 +9,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "src/util/aligned_buffer.h"
 
 namespace calu::blas {
 namespace {
@@ -19,6 +22,24 @@ inline double diag_val(const double* t, int ldt, Diag diag, int i) {
   return diag == Diag::Unit ? 1.0 : t[i + static_cast<std::size_t>(i) * ldt];
 }
 
+// The unblocked solves sweep the diagonal block once per right-hand side;
+// with the block strided by the full matrix ldt that sweep touches one
+// cache line per element.  Copy the nb x nb block into contiguous 64-byte
+// aligned scratch (at most kNB^2 doubles = 32 KiB, L1-resident) so the
+// repeated sweeps run on dense lines.  A copy preserves values exactly, so
+// results stay bit-identical to solving in place.
+thread_local util::AlignedBuffer tl_diag;
+
+const double* pack_diag(const double* t, int ldt, int nb) {
+  tl_diag.reserve(static_cast<std::size_t>(kNB) * kNB);
+  double* buf = tl_diag.data();
+  for (int j = 0; j < nb; ++j)
+    std::memcpy(buf + static_cast<std::size_t>(j) * nb,
+                t + static_cast<std::size_t>(j) * ldt,
+                sizeof(double) * nb);
+  return buf;
+}
+
 // B := T^{-1} B, T lower triangular m x m (unblocked).
 void left_lower_unblocked(Diag diag, int m, int n, const double* t, int ldt,
                           double* b, int ldb) {
@@ -27,7 +48,8 @@ void left_lower_unblocked(Diag diag, int m, int n, const double* t, int ldt,
     for (int i = 0; i < m; ++i) {
       double s = bj[i];
       const double* ti = t + i;  // row i of T, strided by ldt
-      for (int p = 0; p < i; ++p) s -= ti[static_cast<std::size_t>(p) * ldt] * bj[p];
+      for (int p = 0; p < i; ++p)
+        s -= ti[static_cast<std::size_t>(p) * ldt] * bj[p];
       bj[i] = s / diag_val(t, ldt, diag, i);
     }
   }
@@ -41,7 +63,8 @@ void left_upper_unblocked(Diag diag, int m, int n, const double* t, int ldt,
     for (int i = m - 1; i >= 0; --i) {
       double s = bj[i];
       const double* ti = t + i;
-      for (int p = i + 1; p < m; ++p) s -= ti[static_cast<std::size_t>(p) * ldt] * bj[p];
+      for (int p = i + 1; p < m; ++p)
+        s -= ti[static_cast<std::size_t>(p) * ldt] * bj[p];
       bj[i] = s / diag_val(t, ldt, diag, i);
     }
   }
@@ -102,16 +125,20 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     // B := B * (T^T)^{-1}, T^T upper: left-to-right block solve.
     for (int j = 0; j < n; j += kNB) {
       const int jb = std::min(kNB, n - j);
-      // Unblocked solve against the transposed diagonal block.
+      // Unblocked solve against the transposed diagonal block (packed
+      // contiguous; it is swept once per RHS column).
+      const double* dk =
+          pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt, jb);
       for (int jj = j; jj < j + jb; ++jj) {
         double* bj = b + static_cast<std::size_t>(jj) * ldb;
         for (int p = j; p < jj; ++p) {
-          const double tpj = t[jj + static_cast<std::size_t>(p) * ldt];
+          const double tpj =
+              dk[(jj - j) + static_cast<std::size_t>(p - j) * jb];
           if (tpj == 0.0) continue;
           const double* bp = b + static_cast<std::size_t>(p) * ldb;
           for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
         }
-        const double d = diag_val(t, ldt, diag, jj);
+        const double d = diag_val(dk, jb, diag, jj - j);
         if (d != 1.0)
           for (int i = 0; i < m; ++i) bj[i] /= d;
       }
@@ -130,13 +157,15 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     for (int i = m; i > 0; i -= kNB) {
       const int ib = std::min(kNB, i);
       const int i0 = i - ib;
+      const double* dk =
+          pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt, ib);
       for (int j = 0; j < n; ++j) {
         double* bj = b + static_cast<std::size_t>(j) * ldb;
         for (int r = i - 1; r >= i0; --r) {
           double s = bj[r];
           for (int p = r + 1; p < i; ++p)
-            s -= t[p + static_cast<std::size_t>(r) * ldt] * bj[p];
-          bj[r] = s / diag_val(t, ldt, diag, r);
+            s -= dk[(p - i0) + static_cast<std::size_t>(r - i0) * ib] * bj[p];
+          bj[r] = s / diag_val(dk, ib, diag, r - i0);
         }
       }
       // B(0:i0, :) -= T(i0:i, 0:i0)^T * B(i0:i, :).
@@ -210,8 +239,10 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     // eliminate it from the rows below via gemm.
     for (int i = 0; i < m; i += kNB) {
       const int ib = std::min(kNB, m - i);
-      left_lower_unblocked(diag, ib, n, t + i + static_cast<std::size_t>(i) * ldt,
-                           ldt, b + i, ldb);
+      left_lower_unblocked(
+          diag, ib, n,
+          pack_diag(t + i + static_cast<std::size_t>(i) * ldt, ldt, ib), ib,
+          b + i, ldb);
       if (i + ib < m)
         gemm(Trans::No, Trans::No, m - i - ib, n, ib, -1.0,
              t + (i + ib) + static_cast<std::size_t>(i) * ldt, ldt, b + i, ldb,
@@ -221,9 +252,10 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     for (int i = m; i > 0; i -= kNB) {
       const int ib = std::min(kNB, i);
       const int i0 = i - ib;
-      left_upper_unblocked(diag, ib, n,
-                           t + i0 + static_cast<std::size_t>(i0) * ldt, ldt,
-                           b + i0, ldb);
+      left_upper_unblocked(
+          diag, ib, n,
+          pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt, ib), ib,
+          b + i0, ldb);
       if (i0 > 0)
         gemm(Trans::No, Trans::No, i0, n, ib, -1.0,
              t + static_cast<std::size_t>(i0) * ldt, ldt, b + i0, ldb, 1.0, b,
@@ -233,9 +265,10 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     // Left-to-right: solve block column, eliminate from the columns right.
     for (int j = 0; j < n; j += kNB) {
       const int jb = std::min(kNB, n - j);
-      right_upper_unblocked(diag, m, jb,
-                            t + j + static_cast<std::size_t>(j) * ldt, ldt,
-                            b + static_cast<std::size_t>(j) * ldb, ldb);
+      right_upper_unblocked(
+          diag, m, jb,
+          pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt, jb), jb,
+          b + static_cast<std::size_t>(j) * ldb, ldb);
       if (j + jb < n)
         gemm(Trans::No, Trans::No, m, n - j - jb, jb, -1.0,
              b + static_cast<std::size_t>(j) * ldb, ldb,
@@ -246,9 +279,10 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     for (int j = n; j > 0; j -= kNB) {
       const int jb = std::min(kNB, j);
       const int j0 = j - jb;
-      right_lower_unblocked(diag, m, jb,
-                            t + j0 + static_cast<std::size_t>(j0) * ldt, ldt,
-                            b + static_cast<std::size_t>(j0) * ldb, ldb);
+      right_lower_unblocked(
+          diag, m, jb,
+          pack_diag(t + j0 + static_cast<std::size_t>(j0) * ldt, ldt, jb), jb,
+          b + static_cast<std::size_t>(j0) * ldb, ldb);
       if (j0 > 0)
         gemm(Trans::No, Trans::No, m, j0, jb, -1.0,
              b + static_cast<std::size_t>(j0) * ldb, ldb,

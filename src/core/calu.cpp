@@ -3,21 +3,30 @@
 #include "src/core/calu.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <mutex>
 
 #include "src/blas/blas.h"
 #include "src/core/calu_dag.h"
 #include "src/core/tslu.h"
 #include "src/model/lu_cost.h"
 #include "src/sched/engine_registry.h"
+#include "src/util/aligned_buffer.h"
 
 namespace calu::core {
 namespace {
 
 using layout::BlockRef;
+
+inline std::size_t pad8(std::size_t v) { return (v + 7) / 8 * 8; }
+
+// Per-thread pack scratch for the pack-per-task (pack_panels off) S path.
+thread_local util::AlignedBuffer tl_s_abuf;
+thread_local util::AlignedBuffer tl_s_bbuf;
 
 /// Mutable per-run state: tournament candidates, per-panel swap lists.
 /// Distinct tasks touch distinct slots, so no locking is needed beyond the
@@ -30,6 +39,19 @@ class Runtime {
     for (int k = 0; k < plan.npanels; ++k)
       cand_[k].resize(plan.tnodes[k].size());
     swaps_.resize(plan.npanels);
+    if (plan.pack_panels) {
+      arenas_.resize(plan.npanels);
+      std::vector<int> s_per_step(plan.npanels, 0);
+      for (int id = 0; id < plan.graph.num_tasks(); ++id) {
+        const sched::Task& t = plan.graph.task(id);
+        if (t.kind == trace::Kind::S) ++s_per_step[t.step];
+      }
+      for (int k = 0; k < plan.npanels; ++k) {
+        arenas_[k] = std::make_unique<StepArena>();
+        arenas_[k]->s_remaining.store(s_per_step[k],
+                                      std::memory_order_relaxed);
+      }
+    }
   }
 
   void exec(int id, int tid);
@@ -39,16 +61,46 @@ class Runtime {
 
   std::vector<int> take_ipiv();
 
+  std::uint64_t pack_tasks() const {
+    return pack_tasks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t s_operand_packs() const {
+    return plan_.pack_panels ? pack_tasks()
+                             : s_packs_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Shared packed operands of one step: every L tile of the panel and
+  /// every U tile of the block row, each packed exactly once (by its
+  /// pL/pU task) in micro-kernel strip layout.  The buffer is allocated
+  /// by the first pack task of the step and freed by the step's last S
+  /// task, so live scratch stays proportional to the scheduler's actual
+  /// look-ahead depth, not to the matrix.
+  struct StepArena {
+    util::AlignedBuffer buf;
+    std::once_flag once;
+    double* lslots = nullptr;
+    double* uslots = nullptr;
+    std::size_t l_stride = 0, u_stride = 0;
+    std::atomic<int> s_remaining{0};
+  };
+
+  StepArena& ensure_arena(int k);
+
   void exec_p(const sched::Task& t);
   void exec_l(const sched::Task& t);
   void exec_u(const sched::Task& t);
   void exec_s(const sched::Task& t);
+  void exec_pack_l(const sched::Task& t);
+  void exec_pack_u(const sched::Task& t);
 
   layout::PackedMatrix& a_;
   const CaluPlan& plan_;
   std::vector<std::vector<Candidates>> cand_;
   std::vector<std::vector<int>> swaps_;
+  std::vector<std::unique_ptr<StepArena>> arenas_;
+  std::atomic<std::uint64_t> pack_tasks_{0};
+  std::atomic<std::uint64_t> s_packs_{0};
 };
 
 void Runtime::exec(int id, int tid) {
@@ -59,6 +111,8 @@ void Runtime::exec(int id, int tid) {
     case trace::Kind::L: exec_l(t); break;
     case trace::Kind::U: exec_u(t); break;
     case trace::Kind::S: exec_s(t); break;
+    case trace::Kind::PackL: exec_pack_l(t); break;
+    case trace::Kind::PackU: exec_pack_u(t); break;
     default: assert(false);
   }
 }
@@ -129,17 +183,86 @@ void Runtime::exec_u(const sched::Task& t) {
              blas::Diag::Unit, kk, d.cols, 1.0, top.ptr, top.ld, d.ptr, d.ld);
 }
 
-void Runtime::exec_s(const sched::Task& t) {
-  // A(I..,J) -= L(I..,k) * U(k,J), over a group of t.aux owned tiles
-  // (one tile unless the static BCL grouping is active).
-  const int k = t.step, I = t.i, J = t.j, cnt = t.aux;
+Runtime::StepArena& Runtime::ensure_arena(int k) {
+  StepArena& ar = *arenas_[k];
+  std::call_once(ar.once, [&] {
+    const layout::Tiling& tl = plan_.tiling;
+    const int kk = std::min(tl.tile_rows(k), tl.tile_cols(k));
+    // Uniform slots sized for a full b x kk tile (edge tiles just leave
+    // slack); padded to 8 doubles so every slot stays 64-byte aligned.
+    ar.l_stride = pad8(blas::packed_a_size(tl.b, kk));
+    ar.u_stride = pad8(blas::packed_b_size(kk, tl.b));
+    const std::size_t ltiles = tl.mb() - k - 1;
+    const std::size_t utiles = tl.nb() - k - 1;
+    ar.buf.reserve(ltiles * ar.l_stride + utiles * ar.u_stride);
+    ar.lslots = ar.buf.data();
+    ar.uslots = ar.buf.data() + ltiles * ar.l_stride;
+  });
+  return ar;
+}
+
+void Runtime::exec_pack_l(const sched::Task& t) {
+  // Pack finished L tile (I, k) into its arena slot, once per step.
+  const int k = t.step, I = t.i;
+  StepArena& ar = ensure_arena(k);
+  BlockRef top = a_.block(k, k);
+  const int kk = std::min(top.rows, top.cols);
+  BlockRef l = a_.block(I, k);
+  blas::gemm_pack_a(blas::Trans::No, l.rows, kk, l.ptr, l.ld,
+                    ar.lslots + (I - k - 1) * ar.l_stride);
+  pack_tasks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::exec_pack_u(const sched::Task& t) {
+  // Pack finished U tile (k, J) into its arena slot, once per step.
+  const int k = t.step, J = t.j;
+  StepArena& ar = ensure_arena(k);
   BlockRef top = a_.block(k, k);
   const int kk = std::min(top.rows, top.cols);
   BlockRef u = a_.block(k, J);
-  BlockRef l = a_.column_segment(I, k, cnt);
+  blas::gemm_pack_b(blas::Trans::No, kk, u.cols, u.ptr, u.ld,
+                    ar.uslots + (J - k - 1) * ar.u_stride);
+  pack_tasks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::exec_s(const sched::Task& t) {
+  // A(I..,J) -= L(I..,k) * U(k,J), over a group of t.aux owned tiles
+  // (one tile unless the static BCL grouping is active).  With
+  // pack_panels the operands come pre-packed from the step arena; the
+  // fallback packs them per task.  Both run the same register kernels on
+  // identically packed data, so the results are bit-identical.
+  const int k = t.step, I = t.i, J = t.j, cnt = t.aux;
+  BlockRef top = a_.block(k, k);
+  const int kk = std::min(top.rows, top.cols);
   BlockRef c = a_.column_segment(I, J, cnt);
-  blas::gemm(blas::Trans::No, blas::Trans::No, c.rows, c.cols, kk, -1.0,
-             l.ptr, l.ld, u.ptr, u.ld, 1.0, c.ptr, c.ld);
+  if (plan_.pack_panels) {
+    StepArena& ar = *arenas_[k];
+    const double* upack = ar.uslots + (J - k - 1) * ar.u_stride;
+    int rowoff = 0;
+    for (int g = 0; g < cnt; ++g) {
+      const int Ig = I + g * plan_.grid.pr;
+      const int rows = plan_.tiling.tile_rows(Ig);
+      blas::gemm_packed(rows, c.cols, kk, -1.0,
+                        ar.lslots + (Ig - k - 1) * ar.l_stride, upack,
+                        c.ptr + rowoff, c.ld);
+      rowoff += rows;
+    }
+    // Last S task of the step retires the arena.
+    if (ar.s_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      ar.buf.release();
+  } else {
+    BlockRef u = a_.block(k, J);
+    BlockRef l = a_.column_segment(I, k, cnt);
+    tl_s_abuf.reserve(blas::packed_a_size(l.rows, kk));
+    tl_s_bbuf.reserve(blas::packed_b_size(kk, u.cols));
+    blas::gemm_pack_a(blas::Trans::No, l.rows, kk, l.ptr, l.ld,
+                      tl_s_abuf.data());
+    blas::gemm_pack_b(blas::Trans::No, kk, u.cols, u.ptr, u.ld,
+                      tl_s_bbuf.data());
+    s_packs_.fetch_add(2, std::memory_order_relaxed);
+    blas::gemm_packed(c.rows, c.cols, kk, -1.0, tl_s_abuf.data(),
+                      tl_s_bbuf.data(), c.ptr, c.ld);
+  }
 }
 
 void Runtime::apply_left_swaps(sched::ThreadTeam& team) {
@@ -213,7 +336,7 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   Factorization f;
   auto t0 = std::chrono::steady_clock::now();
   CaluPlan plan = build_plan(tl, a.grid(), a.layout(), opt.resolved_dratio(),
-                             opt.group_factor);
+                             opt.group_factor, opt.pack_panels);
   f.stats.plan_seconds = seconds_since(t0);
   f.stats.tasks = plan.graph.num_tasks();
   f.stats.npanels = plan.npanels;
@@ -244,6 +367,8 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   f.stats.engine = engine->run(*team, plan.graph, exec, hooks);
   rt.apply_left_swaps(*team);
   f.stats.factor_seconds = seconds_since(t0);
+  f.stats.pack_tasks = rt.pack_tasks();
+  f.stats.s_operand_packs = rt.s_operand_packs();
   f.stats.gflops = model::gflops(model::lu_flops(tl.m, tl.n),
                                  f.stats.factor_seconds);
   if (injector) {

@@ -44,6 +44,11 @@ struct Options {
   int threads = 0;            // 0 = all hardware threads
   int pr = 0, pc = 0;         // thread grid; 0 = near-square auto
   int group_factor = 3;       // k: group k owned tiles per GEMM (BCL static)
+  /// Pack each panel's L tiles and U block row once per step (pL/pU DAG
+  /// tasks) and feed every S task the shared packed operands — O(nb)
+  /// packs per step instead of O(nb^2).  Off: each S task packs its own
+  /// operands.  Results are bit-identical either way.
+  bool pack_panels = true;
   bool pin_threads = true;
   /// Section-9 extension: locality-tagged dynamic queues (per-thread tag
   /// buckets instead of one shared queue; DFS order kept within buckets).
@@ -73,6 +78,10 @@ struct Stats {
   int tasks = 0;
   int npanels = 0;
   int nstatic_panels = 0;
+  /// Operand packs feeding the S-task gemms: pL/pU task executions when
+  /// pack_panels is on (O(nb) per step), 2 per S task when off (O(nb^2)).
+  std::uint64_t s_operand_packs = 0;
+  std::uint64_t pack_tasks = 0;  // pL/pU tasks executed
   double noise_delta_max = 0.0;  // measured δmax/δavg when noise is on
   double noise_delta_avg = 0.0;
 };

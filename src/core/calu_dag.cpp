@@ -13,7 +13,9 @@ using sched::Task;
 
 // Priority key: DFS order (tile column, step, kind rank).  Lower pops
 // first.  The rank orders tasks sharing (J, K): tournament before finalize
-// before L before U before S.
+// before L before pack-L before U before pack-U before S — packs sit
+// directly behind their producer so they run ahead of the S tasks they
+// feed (look-ahead keeps the next panel's operands packed early).
 std::uint64_t prio(int j, int k, int rank) {
   return (static_cast<std::uint64_t>(j) << 36) |
          (static_cast<std::uint64_t>(k) << 12) |
@@ -29,11 +31,13 @@ void add_deps(sched::TaskGraph& g, std::vector<int>& deps, int to) {
 }  // namespace
 
 CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
-                    layout::Layout layout, double dratio, int group_factor) {
+                    layout::Layout layout, double dratio, int group_factor,
+                    bool pack_panels) {
   assert(dratio >= 0.0 && dratio <= 1.0);
   CaluPlan plan;
   plan.tiling = tiling;
   plan.grid = grid;
+  plan.pack_panels = pack_panels;
   const int mb = tiling.mb(), nb = tiling.nb();
   plan.npanels = std::min(mb, nb);
   plan.nstatic = std::clamp(
@@ -55,11 +59,15 @@ CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
   std::vector<int> cover(static_cast<std::size_t>(mb) * nb, -1);
   std::vector<std::vector<int>> col_tasks(nb);
   std::vector<int> l_task(mb, -1);
+  std::vector<int> pl_task(mb, -1);
   std::vector<int> deps;
 
   for (int k = 0; k < plan.npanels; ++k) {
     const bool panel_static = k < N;
     const int ntiles = mb - k;
+    // Pack tasks exist only where S tasks will consume them (a step with a
+    // trailing matrix below and to the right of the panel).
+    const bool packing = pack_panels && mb > k + 1 && nb > k + 1;
 
     // --- P: tournament leaves (one per thread row owning panel tiles) ---
     auto& nodes = plan.tnodes[k];
@@ -130,7 +138,7 @@ CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
       g.add_edge(nodes[plan.root_node[k]].task, plan.final_task[k]);
     }
 
-    // --- L tiles ---
+    // --- L tiles (and their pack tasks) ---
     for (int I = k + 1; I < mb; ++I) {
       Task t;
       t.kind = trace::Kind::L;
@@ -142,6 +150,18 @@ CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
       t.owner = panel_static ? t.tag : kDynamicOwner;
       l_task[I] = g.add_task(t);
       g.add_edge(plan.final_task[k], l_task[I]);
+      if (packing) {
+        Task tp;
+        tp.kind = trace::Kind::PackL;
+        tp.step = k;
+        tp.i = I;
+        tp.j = k;
+        tp.priority = prio(k, k, 4);
+        tp.tag = grid.owner(I, k);
+        tp.owner = panel_static ? tp.tag : kDynamicOwner;
+        pl_task[I] = g.add_task(tp);
+        g.add_edge(l_task[I], pl_task[I]);
+      }
     }
 
     // --- U + S per trailing column ---
@@ -152,7 +172,7 @@ CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
       tu.step = k;
       tu.i = k;
       tu.j = J;
-      tu.priority = prio(J, k, 4);
+      tu.priority = prio(J, k, 5);
       tu.tag = grid.owner(k, J);
       tu.owner = col_static ? tu.tag : kDynamicOwner;
       const int u_id = g.add_task(tu);
@@ -164,6 +184,19 @@ CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
         // Last step: U tiles finish the factorization of wide matrices;
         // no S below.
       }
+      int pu_id = -1;
+      if (packing) {
+        Task tp;
+        tp.kind = trace::Kind::PackU;
+        tp.step = k;
+        tp.i = k;
+        tp.j = J;
+        tp.priority = prio(J, k, 6);
+        tp.tag = grid.owner(k, J);
+        tp.owner = col_static ? tp.tag : kDynamicOwner;
+        pu_id = g.add_task(tp);
+        g.add_edge(u_id, pu_id);
+      }
       const bool group_here = plan.grouped && col_static;
       if (group_here) {
         for (int tr = 0; tr < grid.pr; ++tr) {
@@ -171,21 +204,22 @@ CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
           // contiguous in the owner's BCL buffer).
           int I = k + 1 + (((tr - (k + 1)) % grid.pr + grid.pr) % grid.pr);
           while (I < mb) {
-            const int cnt = std::min(plan.group_factor, (mb - I + grid.pr - 1) / grid.pr);
+            const int cnt = std::min(plan.group_factor,
+                                     (mb - I + grid.pr - 1) / grid.pr);
             Task ts;
             ts.kind = trace::Kind::S;
             ts.step = k;
             ts.i = I;
             ts.j = J;
             ts.aux = cnt;
-            ts.priority = prio(J, k, 5);
+            ts.priority = prio(J, k, 7);
             ts.tag = grid.owner(I, J);
             ts.owner = ts.tag;
             const int s_id = g.add_task(ts);
-            g.add_edge(u_id, s_id);
+            g.add_edge(packing ? pu_id : u_id, s_id);
             for (int c = 0; c < cnt; ++c) {
               const int Ic = I + c * grid.pr;
-              g.add_edge(l_task[Ic], s_id);
+              g.add_edge(packing ? pl_task[Ic] : l_task[Ic], s_id);
               cover[static_cast<std::size_t>(Ic) * nb + J] = s_id;
             }
             col_tasks[J].push_back(s_id);
@@ -200,12 +234,12 @@ CaluPlan build_plan(const layout::Tiling& tiling, const layout::Grid& grid,
           ts.i = I;
           ts.j = J;
           ts.aux = 1;
-          ts.priority = prio(J, k, 5);
+          ts.priority = prio(J, k, 7);
           ts.tag = grid.owner(I, J);
           ts.owner = col_static ? ts.tag : kDynamicOwner;
           const int s_id = g.add_task(ts);
-          g.add_edge(u_id, s_id);
-          g.add_edge(l_task[I], s_id);
+          g.add_edge(packing ? pu_id : u_id, s_id);
+          g.add_edge(packing ? pl_task[I] : l_task[I], s_id);
           cover[static_cast<std::size_t>(I) * nb + J] = s_id;
           col_tasks[J].push_back(s_id);
         }
@@ -241,6 +275,14 @@ std::string plan_to_dot(const CaluPlan& plan) {
       case trace::Kind::S:
         color = t.owner >= 0 ? "palegreen" : "honeydew";
         label = "S";
+        break;
+      case trace::Kind::PackL:
+        color = t.owner >= 0 ? "plum" : "thistle";
+        label = "pL";
+        break;
+      case trace::Kind::PackU:
+        color = t.owner >= 0 ? "orchid" : "lavenderblush";
+        label = "pU";
         break;
       default:
         label = "?";

@@ -45,7 +45,9 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
   std::vector<int> gessm_id(nt, -1);            // per J at current k
   std::vector<int> tstrf_id(nt, -1);            // per I at current k
   std::vector<int> ssssm_prev(static_cast<std::size_t>(nt) * nt, -1);
-  auto cell = [nt](int I, int J) { return static_cast<std::size_t>(I) * nt + J; };
+  auto cell = [nt](int I, int J) {
+    return static_cast<std::size_t>(I) * nt + J;
+  };
 
   for (int k = 0; k < nt; ++k) {
     sched::Task t;
@@ -147,7 +149,8 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
         // tile.
         auto& laux = f.laux_[f.idx(k, t.i)];
         laux.assign(static_cast<std::size_t>(kk) * kk, 0.0);
-        for (int i = 0; i < kk; ++i) laux[i + static_cast<std::size_t>(i) * kk] = 1.0;
+        for (int i = 0; i < kk; ++i)
+          laux[i + static_cast<std::size_t>(i) * kk] = 1.0;
         for (int j = 0; j < width; ++j) {
           for (int i = 0; i <= std::min(j, kk - 1); ++i)
             kk_tile.ptr[i + static_cast<std::size_t>(j) * kk_tile.ld] =

@@ -46,7 +46,9 @@ class Matrix {
 
  private:
   struct Free {
-    void operator()(double* p) const noexcept { ::operator delete[](p, std::align_val_t{64}); }
+    void operator()(double* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
   };
   int m_ = 0, n_ = 0;
   std::unique_ptr<double[], Free> data_;

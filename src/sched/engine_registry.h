@@ -7,7 +7,8 @@
 // silently drop an engine TU, and downstream code can add engines at
 // runtime:
 //
-//   sched::register_engine("my-numa-ws", [] { return std::make_unique<...>(); });
+//   sched::register_engine("my-numa-ws",
+//                          [] { return std::make_unique<...>(); });
 //   auto eng = sched::make_engine("my-numa-ws");
 //   auto stats = eng->run(team, graph, exec);
 #pragma once

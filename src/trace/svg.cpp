@@ -14,8 +14,10 @@ const char* kind_color(Kind k) {
     case Kind::L: return "#ff9896";     // light red
     case Kind::U: return "#98df8a";     // light green
     case Kind::S: return "#2ca02c";     // green
-    case Kind::Swap: return "#1f77b4";  // blue
+    case Kind::Swap: return "#1f77b4";   // blue
     case Kind::Other: return "#7f7f7f";
+    case Kind::PackL: return "#c5b0d5";  // light purple
+    case Kind::PackU: return "#9467bd";  // purple
   }
   return "#7f7f7f";
 }

@@ -56,8 +56,8 @@ std::string ascii_timeline(const Recorder& rec, int width) {
   if (span <= 0.0 || width <= 0) return out;
   for (int t = 0; t < rec.threads(); ++t) {
     // Per bucket, accumulate busy time per kind; pick the dominant kind.
-    std::vector<std::array<double, 6>> buckets(
-        width, std::array<double, 6>{});
+    std::vector<std::array<double, kKindCount>> buckets(
+        width, std::array<double, kKindCount>{});
     for (const Event& e : rec.thread_events(t)) {
       const int b0 = std::clamp(static_cast<int>(e.t0 / span * width), 0,
                                 width - 1);
@@ -75,7 +75,7 @@ std::string ascii_timeline(const Recorder& rec, int width) {
     for (int b = 0; b < width; ++b) {
       int best = -1;
       double bestv = 0.0;
-      for (int k = 0; k < 6; ++k)
+      for (int k = 0; k < kKindCount; ++k)
         if (buckets[b][k] > bestv) {
           bestv = buckets[b][k];
           best = k;

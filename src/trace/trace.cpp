@@ -10,6 +10,8 @@ const char* kind_name(Kind k) {
     case Kind::S: return "S";
     case Kind::Swap: return "W";
     case Kind::Other: return "?";
+    case Kind::PackL: return "pL";
+    case Kind::PackU: return "pU";
   }
   return "?";
 }

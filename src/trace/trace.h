@@ -22,7 +22,12 @@ enum class Kind : std::uint8_t {
   S = 3,      // trailing-matrix update
   Swap = 4,   // deferred left swaps
   Other = 5,
+  PackL = 6,  // pack one L tile for the step's shared gemm operand
+  PackU = 7,  // pack one U block-row tile likewise
 };
+
+/// Number of Kind values — the size of any per-kind table.
+inline constexpr int kKindCount = 8;
 
 const char* kind_name(Kind k);
 

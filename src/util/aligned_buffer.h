@@ -1,0 +1,51 @@
+// aligned_buffer.h — grow-only 64-byte-aligned double scratch.
+//
+// The kernel layer packs operands into cache-friendly buffers; those packs
+// feed SIMD loads, so the storage must be 64-byte aligned (a full AVX-512
+// vector, and exactly one cache line).  std::vector cannot guarantee that,
+// and its value-initialization on resize() is wasted work for scratch that
+// is fully overwritten by the pack.  This buffer grows monotonically,
+// never preserves contents across grows, and releases with the same
+// aligned operator delete[] the Matrix container uses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+
+namespace calu::util {
+
+class AlignedBuffer {
+ public:
+  double* data() { return data_.get(); }
+  const double* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+  bool allocated() const { return data_ != nullptr; }
+
+  /// Ensures room for `n` doubles.  Contents are NOT preserved across a
+  /// grow and are uninitialized after it.
+  void reserve(std::size_t n) {
+    if (n <= size_) return;
+    data_.reset(static_cast<double*>(
+        ::operator new[](n * sizeof(double), std::align_val_t{64})));
+    size_ = n;
+  }
+
+  /// Frees the storage (used by per-step pack arenas once the last
+  /// consumer retires, keeping live scratch proportional to active steps).
+  void release() {
+    data_.reset();
+    size_ = 0;
+  }
+
+ private:
+  struct Free {
+    void operator()(double* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<double[], Free> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace calu::util

@@ -1,0 +1,197 @@
+// blas_conformance_test.cpp — exhaustive gemm conformance sweep of every
+// dispatched micro-kernel variant against a naive reference.
+//
+// The dispatch table (microkernel.h) is exercised variant by variant via
+// select_kernel(), so a single run on AVX-512 hardware covers the
+// avx512, avx2 and generic kernels; on older hardware the unavailable
+// variants simply are not in the table.  CI additionally runs this binary
+// with CALU_KERNEL=generic to pin the portable path.
+//
+// Sizes stress every edge in the blocked decomposition: all ragged sizes
+// 1..9, the register-strip boundaries mr-1/mr/mr+1, and the cache-block
+// boundaries mc+-1 / kc+-1 / nc+-1 (one dimension at a time — the full
+// cross at cache-block scale would be minutes of naive-loop time for no
+// extra coverage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/blas/blas.h"
+#include "src/blas/microkernel.h"
+#include "src/layout/matrix.h"
+
+namespace calu {
+namespace {
+
+using blas::Trans;
+using layout::Matrix;
+
+// Reference: the textbook triple loop, kept independent of the kernel
+// under test.
+void ref_gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+              const Matrix& a, const Matrix& b, double beta, Matrix& c) {
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double av = ta == Trans::No ? a(i, p) : a(p, i);
+        const double bv = tb == Trans::No ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      c(i, j) = alpha * s + beta * c(i, j);
+    }
+}
+
+struct TransCase {
+  Trans ta, tb;
+};
+const TransCase kTrans[] = {
+    {Trans::No, Trans::No}, {Trans::No, Trans::Yes}, {Trans::Yes, Trans::No}};
+const double kScalars[] = {0.0, 1.0, -0.5};
+
+// One gemm-vs-reference check for the currently selected kernel.  Two
+// paths are checked against the reference: the gemm() front end (which
+// may legitimately take its naive-fallback shortcut for tiny problems)
+// and pack + gemm_packed, which drives the register kernel — including
+// its partial mr/nr edge write-backs — at EVERY size, below the fallback
+// threshold too.
+void check_case(Trans ta, Trans tb, int m, int n, int k, double alpha,
+                double beta, std::uint64_t seed) {
+  const Matrix a = ta == Trans::No ? Matrix::random(m, k, seed)
+                                   : Matrix::random(k, m, seed);
+  const Matrix b = tb == Trans::No ? Matrix::random(k, n, seed + 1)
+                                   : Matrix::random(n, k, seed + 1);
+  const Matrix c0 = Matrix::random(m, n, seed + 2);
+  Matrix want = c0;
+  ref_gemm(ta, tb, m, n, k, alpha, a, b, beta, want);
+  // Entries are in [-1,1]: |result| <= |alpha| k + |beta|, and each of the
+  // O(k) roundings is at most eps relative.
+  const double tol = 1e-15 * (std::abs(alpha) * k + 1.0) * (k + 4);
+  const auto check = [&](const Matrix& got, const char* path) {
+    double worst = 0.0;
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i)
+        worst = std::max(worst, std::abs(got(i, j) - want(i, j)));
+    ASSERT_LE(worst, tol) << path << " m=" << m << " n=" << n << " k=" << k
+                          << " alpha=" << alpha << " beta=" << beta
+                          << " ta=" << (ta == Trans::Yes) << " tb="
+                          << (tb == Trans::Yes) << " kernel="
+                          << blas::active_kernel().name;
+  };
+
+  Matrix c = c0;
+  blas::gemm(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+             beta, c.data(), c.ld());
+  check(c, "gemm");
+
+  c = c0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) c(i, j) *= beta;
+  std::vector<double> ap(blas::packed_a_size(m, k));
+  std::vector<double> bp(blas::packed_b_size(k, n));
+  blas::gemm_pack_a(ta, m, k, a.data(), a.ld(), ap.data());
+  blas::gemm_pack_b(tb, k, n, b.data(), b.ld(), bp.data());
+  blas::gemm_packed(m, n, k, alpha, ap.data(), bp.data(), c.data(), c.ld());
+  check(c, "gemm_packed");
+}
+
+class KernelConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(blas::select_kernel(GetParam().c_str()));
+  }
+  void TearDown() override { blas::select_kernel(nullptr); }
+};
+
+TEST_P(KernelConformance, RaggedAndStripBoundarySweep) {
+  const blas::MicroKernel& mk = blas::active_kernel();
+  std::vector<int> sizes;
+  for (int v = 1; v <= 9; ++v) sizes.push_back(v);
+  for (int v : {mk.mr - 1, mk.mr, mk.mr + 1, mk.nr - 1, mk.nr, mk.nr + 1})
+    if (v >= 1) sizes.push_back(v);
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+  std::uint64_t seed = 100;
+  for (const TransCase& tc : kTrans)
+    for (int m : sizes)
+      for (int n : sizes)
+        for (int k : sizes)
+          for (double alpha : kScalars)
+            for (double beta : kScalars)
+              check_case(tc.ta, tc.tb, m, n, k, alpha, beta, ++seed);
+}
+
+TEST_P(KernelConformance, CacheBlockBoundaries) {
+  const blas::MicroKernel& mk = blas::active_kernel();
+  std::uint64_t seed = 9000;
+  // mc boundary (A row-panel split) and kc boundary (depth split) —
+  // m x k at the corners of the first cache block, n one strip wide.
+  for (int m : {mk.mc - 1, mk.mc, mk.mc + 1})
+    for (int k : {mk.kc - 1, mk.kc + 1})
+      for (const TransCase& tc : kTrans)
+        check_case(tc.ta, tc.tb, m, 2 * mk.nr, k, -0.5, 1.0, ++seed);
+  // nc boundary (B column-panel split), kept cheap with tiny m and k.
+  for (int n : {mk.nc - 1, mk.nc + 1})
+    for (const TransCase& tc : kTrans)
+      check_case(tc.ta, tc.tb, 9, n, 9, 1.0, -0.5, ++seed);
+  // kc boundary through the pre-packed entry points used by the S path.
+  for (int k : {mk.kc - 1, mk.kc, mk.kc + 1, 2 * mk.kc + 3}) {
+    const int m = 3 * mk.mr + 1, n = 2 * mk.nr + 1;
+    const Matrix a = Matrix::random(m, k, ++seed);
+    const Matrix b = Matrix::random(k, n, ++seed);
+    Matrix c = Matrix::random(m, n, ++seed);
+    Matrix want = c;
+    ref_gemm(Trans::No, Trans::No, m, n, k, -1.0, a, b, 1.0, want);
+    std::vector<double> ap(blas::packed_a_size(m, k));
+    std::vector<double> bp(blas::packed_b_size(k, n));
+    blas::gemm_pack_a(Trans::No, m, k, a.data(), a.ld(), ap.data());
+    blas::gemm_pack_b(Trans::No, k, n, b.data(), b.ld(), bp.data());
+    blas::gemm_packed(m, n, k, -1.0, ap.data(), bp.data(), c.data(), c.ld());
+    const double tol = 1e-15 * (k + 1.0) * (k + 4);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i)
+        ASSERT_NEAR(c(i, j), want(i, j), tol) << "k=" << k;
+  }
+}
+
+std::string kernel_case_name(
+    const ::testing::TestParamInfo<std::string>& info) {
+  return info.param;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dispatched, KernelConformance,
+                         ::testing::ValuesIn(blas::available_kernels()),
+                         kernel_case_name);
+
+TEST(KernelDispatch, TableAndSelection) {
+  const std::vector<std::string> names = blas::available_kernels();
+  ASSERT_FALSE(names.empty());
+  // The portable kernel is always present and always last (fallback).
+  EXPECT_EQ(names.back(), "generic");
+  EXPECT_FALSE(blas::select_kernel("no-such-kernel"));
+  for (const std::string& n : names) {
+    EXPECT_TRUE(blas::select_kernel(n.c_str()));
+    const blas::MicroKernel& mk = blas::active_kernel();
+    EXPECT_STREQ(mk.name, n.c_str());
+    // Blocking must be strip-aligned or the blocked and whole-panel
+    // traversals would tile differently.
+    EXPECT_EQ(mk.mc % mk.mr, 0);
+    EXPECT_EQ(mk.nc % mk.nr, 0);
+    EXPECT_GE(mk.kc, 128);
+  }
+  EXPECT_TRUE(blas::select_kernel(nullptr));
+}
+
+TEST(KernelDispatch, CacheInfoSane) {
+  const blas::CacheInfo ci = blas::cache_info();
+  EXPECT_GT(ci.l1, 0);
+  EXPECT_GT(ci.l2, 0);
+  EXPECT_GT(ci.l3, 0);
+}
+
+}  // namespace
+}  // namespace calu
