@@ -4,17 +4,30 @@
 // schedules are kernel-independent.
 //
 // `--json[=path]` (default BENCH_kernels.json) switches to a self-timed
-// mode that sweeps every dispatched kernel variant over gemm/trsm at the
-// paper's tile sizes and writes machine-readable GFLOP/s, giving later
-// PRs a perf trajectory to compare against (bench/run_bench.sh drives
-// it).
+// mode that sweeps every dispatched kernel variant over gemm, trsm, the
+// blocked panel factorization, and the fused row swaps at the paper's
+// tile sizes and writes machine-readable GFLOP/s (GB/s for laswp),
+// giving later PRs a perf trajectory to compare against
+// (bench/run_bench.sh drives it).  Under a CALU_KERNEL pin only the
+// pinned variant is swept — that keeps CI's generic-dispatch smoke run
+// honest and fast.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "src/blas/microkernel.h"
 #include "src/calu.h"
@@ -153,6 +166,44 @@ double gflops_of(double flops, const std::function<void()>& fn) {
   return flops / seconds_of(fn) * 1e-9;
 }
 
+// Core counts from every angle the container stack can distort them:
+// std::thread::hardware_concurrency respects some cgroup limits,
+// sysconf reports what the kernel exposes, and sched_getaffinity is
+// what this process may actually run on.  Recording all three makes
+// later cross-container perf comparisons interpretable (a "1" in one
+// field no longer poisons the whole host block).
+struct HostCpus {
+  int hardware_threads = 1;  // std::thread::hardware_concurrency
+  long online = -1;          // _SC_NPROCESSORS_ONLN
+  long configured = -1;      // _SC_NPROCESSORS_CONF
+  int affinity = -1;         // CPU_COUNT(sched_getaffinity)
+};
+
+HostCpus host_cpus() {
+  HostCpus h;
+  h.hardware_threads = sched::ThreadTeam::hardware_threads();
+#if defined(_SC_NPROCESSORS_ONLN)
+  h.online = sysconf(_SC_NPROCESSORS_ONLN);
+#endif
+#if defined(_SC_NPROCESSORS_CONF)
+  h.configured = sysconf(_SC_NPROCESSORS_CONF);
+#endif
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0)
+    h.affinity = CPU_COUNT(&set);
+#endif
+  return h;
+}
+
+// LU panel flop count (multiply + add each counted), m >= the k = min
+// dimension of the panel.
+double lu_flops(int m, int n) {
+  const double k = std::min(m, n);
+  return 2.0 * k * (static_cast<double>(m) * n -
+                    (static_cast<double>(m) + n) * k / 2.0 + k * k / 3.0);
+}
+
 int run_json(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -160,13 +211,24 @@ int run_json(const char* path) {
     return 1;
   }
   const blas::CacheInfo ci = blas::cache_info();
+  const HostCpus hc = host_cpus();
   std::fprintf(f, "{\n  \"bench\": \"kernels_microbench\",\n");
   std::fprintf(f,
-               "  \"host\": {\"hardware_threads\": %d, \"l1\": %ld, "
-               "\"l2\": %ld, \"l3\": %ld},\n",
-               sched::ThreadTeam::hardware_threads(), ci.l1, ci.l2, ci.l3);
+               "  \"host\": {\"hardware_threads\": %d, \"cpus_online\": %ld, "
+               "\"cpus_configured\": %ld, \"cpus_affinity\": %d,\n"
+               "           \"l1\": %ld, \"l2\": %ld, \"l3\": %ld},\n",
+               hc.hardware_threads, hc.online, hc.configured, hc.affinity,
+               ci.l1, ci.l2, ci.l3);
+  // The variant this process would actually dispatch to: the CALU_KERNEL
+  // pin if set, else the best the CPU supports.
+  std::fprintf(f, "  \"dispatched\": \"%s\",\n", blas::active_kernel().name);
   std::fprintf(f, "  \"kernels\": [\n");
-  const std::vector<std::string> names = blas::available_kernels();
+  // Under a CALU_KERNEL pin, sweep only the pinned variant — a CI smoke
+  // run pinned to "generic" must not silently re-enable the SIMD paths
+  // through select_kernel.
+  std::vector<std::string> names = blas::available_kernels();
+  if (const char* pin = std::getenv("CALU_KERNEL"))
+    names.assign(1, pin);
   for (std::size_t ki = 0; ki < names.size(); ++ki) {
     blas::select_kernel(names[ki].c_str());
     const blas::MicroKernel& mk = blas::active_kernel();
@@ -206,8 +268,8 @@ int run_json(const char* path) {
     std::fprintf(f, "},\n");
     // trsm at tile sizes (unit-lower left solve, the U-task operator).
     std::fprintf(f, "     \"trsm_gflops\": {");
-    const int trsm_sizes[] = {100, 128, 256};
-    for (std::size_t i = 0; i < 3; ++i) {
+    const int trsm_sizes[] = {100, 128, 256, 512};
+    for (std::size_t i = 0; i < 4; ++i) {
       const int n = trsm_sizes[i];
       auto t = layout::Matrix::diag_dominant(n, 1);
       auto b0 = layout::Matrix::random(n, n, 2);
@@ -223,6 +285,53 @@ int run_json(const char* path) {
       const double g =
           1.0 * n * n * n / std::max(s_solve - s_copy, 1e-9) * 1e-9;
       std::fprintf(f, "%s\"%d\": %.2f", i ? ", " : "", n, g);
+    }
+    std::fprintf(f, "},\n");
+    // Panel factorization: the blocked getf2 at tile and TSLU-leaf
+    // shapes, and the recursive GEPP operator on a tall panel.
+    std::fprintf(f, "     \"panel_gflops\": {");
+    const std::pair<const char*, std::pair<int, int>> panels[] = {
+        {"getf2_128x128", {128, 128}},
+        {"getf2_512x128", {512, 128}},
+        {"getf2_2048x128", {2048, 128}},
+        {"getrf_rec_2048x128", {-2048, 128}},
+    };
+    for (std::size_t i = 0; i < 4; ++i) {
+      const bool recursive = panels[i].second.first < 0;
+      const int m = std::abs(panels[i].second.first);
+      const int n = panels[i].second.second;
+      auto a0 = layout::Matrix::random(m, n, 1);
+      auto a = a0;
+      std::vector<int> ipiv(n);
+      const double s_fact = seconds_of([&] {
+        a = a0;
+        if (recursive)
+          blas::getrf_recursive(m, n, a.data(), m, ipiv.data());
+        else
+          blas::getf2(m, n, a.data(), m, ipiv.data());
+      });
+      const double s_copy = seconds_of([&] { a = a0; });
+      const double g =
+          lu_flops(m, n) / std::max(s_fact - s_copy, 1e-9) * 1e-9;
+      std::fprintf(f, "%s\"%s\": %.2f", i ? ", " : "", panels[i].first, g);
+    }
+    std::fprintf(f, "},\n");
+    // Row interchanges: effective bandwidth of the fused swap sweeps
+    // (each swapped element read + written once = 4 accesses per pair).
+    std::fprintf(f, "     \"laswp_gbps\": {");
+    const int laswp_cols[] = {128, 1024};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const int m = 2048, nswap = 128, n = laswp_cols[i];
+      auto a = layout::Matrix::random(m, n, 3);
+      std::vector<int> ipiv(nswap);
+      for (int s = 0; s < nswap; ++s) ipiv[s] = s + (s * 37) % (m - s);
+      const double sec = seconds_of([&] {
+        blas::laswp(n, a.data(), a.ld(), 0, nswap, ipiv.data(), true);
+        blas::laswp(n, a.data(), a.ld(), 0, nswap, ipiv.data(), false);
+      });
+      const double g =
+          2.0 * nswap * static_cast<double>(n) * 4.0 * 8.0 / sec * 1e-9;
+      std::fprintf(f, "%s\"2048x%d\": %.2f", i ? ", " : "", n, g);
     }
     std::fprintf(f, "}}%s\n", ki + 1 < names.size() ? "," : "");
   }

@@ -5,13 +5,15 @@
 #   bench/run_bench.sh [output.json]
 #
 # Writes BENCH_kernels.json (default) at the repo root: single-thread
-# GFLOP/s of gemm/trsm at the paper's tile sizes for every dispatched
+# GFLOP/s of gemm, trsm, and the blocked panel factorization (plus GB/s
+# of the fused row swaps) at the paper's tile sizes for every dispatched
 # micro-kernel variant.  Later PRs compare their numbers against the
 # committed trajectory of these files.
 #
 # Environment:
 #   BUILD_DIR   build directory (default: build)
-#   CALU_KERNEL force one kernel variant for the google-benchmark mode
+#   CALU_KERNEL force one kernel variant; the --json sweep then covers
+#               only that variant (CI's generic smoke run relies on this)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"

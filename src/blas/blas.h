@@ -61,10 +61,19 @@ void gemm_pack_b(Trans tb, int k, int n, const double* b, int ldb,
 void gemm_packed(int m, int n, int k, double alpha, const double* apack,
                  const double* bpack, double* c, int ldc);
 
+/// Diagonal-block width of the blocked trsm: the triangle is processed in
+/// kTrsmBlock-wide blocks whose inverses are precomputed once per call so
+/// the block solves run as register-kernel gemms.  Exported so the
+/// conformance tests and benches can sweep the boundary sizes.
+inline constexpr int kTrsmBlock = 64;
+
 /// Triangular solve with multiple right-hand sides:
 ///   Side::Left :  B := alpha * op(T)^{-1} * B   (T is m x m)
 ///   Side::Right:  B := alpha * B * op(T)^{-1}   (T is n x n)
-/// B is m x n.  Blocked: the bulk of the work is delegated to gemm.
+/// B is m x n.  Blocked: the off-diagonal bulk is delegated to gemm, and
+/// for wide B the diagonal-block solves are recast as multiplies by
+/// precomputed inverted diagonal blocks (gemm-shaped, microkernel-backed).
+/// Narrow B keeps the substitution path.
 void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
           double alpha, const double* t, int ldt, double* b, int ldb);
 
@@ -87,9 +96,12 @@ int getf2(int m, int n, double* a, int lda, int* ipiv);
 /// Toledo's recursive LU with partial pivoting — the sequential GEPP
 /// operator the paper uses inside TSLU reductions (reference [23]).
 /// Same contract as getf2; `threshold` is the column count below which
-/// the recursion bottoms out into getf2.
+/// the recursion bottoms out into getf2.  The default matches the
+/// blocked panel kernel's sweet spot: getf2's delayed rank-ib updates
+/// carry narrow panels efficiently, so recursing below 32 columns only
+/// adds trsm/gemm calls too small to pay for themselves.
 int getrf_recursive(int m, int n, double* a, int lda, int* ipiv,
-                    int threshold = 8);
+                    int threshold = 32);
 
 /// LU factorization *without* pivoting (recursive, gemm-rich) — the second
 /// step of TSLU: the tournament already permuted good pivots into place.

@@ -1,11 +1,25 @@
-// getf2.cpp — unblocked Gaussian elimination with partial pivoting.
+// getf2.cpp — blocked panel factorization with partial pivoting.
 // The base case of the recursive GEPP operator used inside TSLU reductions
 // and the panel kernel of the getrf_pp (MKL stand-in) baseline.
+//
+// The factorization is right-looking over kPanelIB-wide column blocks:
+// inside a block the elimination proceeds column at a time (pivot search
+// fused into the rank-1 update that finalizes the next column, vectorized
+// column scale), and the rank-1 updates of everything RIGHT of the block
+// are delayed and applied once per block as row-swap sweeps plus
+// microkernel rank-ib updates (MicroKernel::panel_update).  Every element
+// still goes through exactly the chain of individually rounded
+// multiply-subtracts of the classic column-at-a-time elimination, in the
+// same order — pivot sequences and factors are identical to the unblocked
+// algorithm (see the panel contract in microkernel.h; pinned by
+// tests/panel_test.cpp).
 #include "src/blas/blas.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "src/blas/microkernel.h"
 
 namespace calu::blas {
 
@@ -47,36 +61,100 @@ int getrf_nopiv(int m, int n, double* a, int lda) {
   return info;
 }
 
+namespace {
+
+// Panel block width: the delayed updates touch each trailing cache line
+// once per kPanelIB rank-1s instead of once per rank-1; the in-block
+// column-at-a-time cost grows as m*ib^2, so moderate widths win.
+constexpr int kPanelIB = 16;
+
+}  // namespace
+
 int getf2(int m, int n, double* a, int lda, int* ipiv) {
   assert(m >= 0 && n >= 0 && lda >= std::max(1, m));
   const int kmin = std::min(m, n);
+  if (kmin == 0) return 0;
+  const MicroKernel& mk = active_kernel();
   int info = 0;
-  for (int j = 0; j < kmin; ++j) {
-    double* col = a + static_cast<std::size_t>(j) * lda;
-    // Pivot search: largest magnitude at/below the diagonal.
-    int piv = j;
-    double best = std::fabs(col[j]);
-    for (int i = j + 1; i < m; ++i) {
-      const double v = std::fabs(col[i]);
-      if (v > best) {
-        best = v;
-        piv = i;
+  for (int j0 = 0; j0 < kmin; j0 += kPanelIB) {
+    const int jend = std::min(j0 + kPanelIB, kmin);
+    // fused_piv: pivot row for column j, found during the rank-1 update
+    // that finalized it at step j-1 (-1: not available, do a fresh scan).
+    int fused_piv = -1;
+    // Steps whose pivot was exactly zero: unblocked elimination skips
+    // their rank-1 update WHOLESALE, so the delayed epilogue below must
+    // exclude them too — folding a zero L column into panel_update would
+    // still evaluate 0 * u per term, which poisons trailing columns when
+    // u is non-finite (0 * Inf = NaN) and flips signed zeros.
+    bool zero_piv[kPanelIB] = {};
+    bool any_zero = false;
+    for (int j = j0; j < jend; ++j) {
+      double* col = a + static_cast<std::size_t>(j) * lda;
+      const int piv =
+          fused_piv >= 0 ? fused_piv : j + mk.iamax(m - j, col + j);
+      fused_piv = -1;
+      ipiv[j] = piv;
+      if (col[piv] == 0.0) {
+        // The whole column at/below the diagonal is zero (the scan keeps
+        // the first maximum, so piv == j): record, leave L entries zero.
+        if (info == 0) info = j + 1;
+        zero_piv[j - j0] = true;
+        any_zero = true;
+        continue;
+      }
+      // Swap inside the block now; columns outside it get the block's
+      // swaps in one laswp sweep below (pure permutation, exact).
+      if (piv != j)
+        swap_rows(jend - j0, a + static_cast<std::size_t>(j0) * lda, lda, j,
+                  piv);
+      const double inv = 1.0 / col[j];
+      double* sub = col + j + 1;
+      const int rows = m - j - 1;
+      for (int i = 0; i < rows; ++i) sub[i] *= inv;
+      if (rows > 0 && j + 1 < jend) {
+        // Rank-1 update of the remaining block columns.  The update that
+        // finalizes column j+1 doubles as its pivot search.
+        double* nxt = a + static_cast<std::size_t>(j + 1) * lda;
+        fused_piv = j + 1 + mk.rank1_iamax(rows, sub, nxt[j], nxt + j + 1);
+        if (j + 2 < jend)
+          mk.panel_update(rows, jend - j - 2, 1, sub, lda,
+                          a + j + static_cast<std::size_t>(j + 2) * lda, lda,
+                          a + j + 1 + static_cast<std::size_t>(j + 2) * lda,
+                          lda);
       }
     }
-    ipiv[j] = piv;
-    if (best == 0.0) {
-      if (info == 0) info = j + 1;
-      continue;  // zero column below diagonal: L entries stay 0
-    }
-    if (piv != j) swap_rows(n, a, lda, j, piv);
-    const double inv = 1.0 / col[j];
-    for (int i = j + 1; i < m; ++i) col[i] *= inv;
-    // Rank-1 update of the trailing submatrix.
-    for (int jj = j + 1; jj < n; ++jj) {
-      double* cjj = a + static_cast<std::size_t>(jj) * lda;
-      const double ujj = cjj[j];
-      if (ujj == 0.0) continue;
-      for (int i = j + 1; i < m; ++i) cjj[i] -= col[i] * ujj;
+    // Block epilogue: replay the block's swaps on the columns left and
+    // right of it, then apply the delayed updates to the trailing
+    // columns — the unit-lower solve of the top kb rows (as kb-1 rank-1
+    // sweeps so row p is final before it is read as U), then one
+    // gemm-shaped rank-kb update of the rows below the block.
+    if (j0 > 0) laswp(j0, a, lda, j0, jend, ipiv);
+    if (jend < n) {
+      double* trail = a + static_cast<std::size_t>(jend) * lda;
+      laswp(n - jend, trail, lda, j0, jend, ipiv);
+      for (int p = j0; p < jend - 1; ++p) {
+        if (zero_piv[p - j0]) continue;
+        mk.panel_update(jend - p - 1, n - jend, 1,
+                        a + p + 1 + static_cast<std::size_t>(p) * lda, lda,
+                        trail + p, lda, trail + p + 1, lda);
+      }
+      if (m > jend) {
+        if (!any_zero) {
+          mk.panel_update(m - jend, n - jend, jend - j0,
+                          a + jend + static_cast<std::size_t>(j0) * lda, lda,
+                          trail + j0, lda, trail + jend, lda);
+        } else {
+          // Rare singular-block path: apply the rank-1s one at a time in
+          // ascending order (same per-element chains as the rank-kb
+          // call), skipping the zero-pivot steps entirely.
+          for (int p = j0; p < jend; ++p) {
+            if (zero_piv[p - j0]) continue;
+            mk.panel_update(m - jend, n - jend, 1,
+                            a + jend + static_cast<std::size_t>(p) * lda, lda,
+                            trail + p, lda, trail + jend, lda);
+          }
+        }
+      }
     }
   }
   return info;

@@ -2,7 +2,11 @@
 // (paper reference [23]).  Splitting the columns in half turns almost all
 // flops into gemm calls, which is why the paper picks it as the sequential
 // operator inside the TSLU tournament ("the best available sequential
-// algorithm", Section 3).
+// algorithm", Section 3).  The recursion bottoms out into the blocked
+// vectorized panel kernel (getf2.cpp) — since that kernel carries
+// multi-column blocks with microkernel rank-ib updates itself, the
+// default leaf width is 32 columns (measured sweet spot on the TSLU
+// reduction shapes; see the panel section of BENCH_kernels.json).
 #include "src/blas/blas.h"
 
 #include <algorithm>

@@ -1,11 +1,20 @@
 // microkernel.cpp — the register kernels and the startup dispatch.
 //
-// Each SIMD kernel always accumulates the full (padded) register tile with
-// vector FMAs and only masks the write-back; the edge write-back uses
-// scalar std::fma so it rounds exactly like the vector path (see the
-// numerical contract in microkernel.h).
+// Each SIMD gemm kernel always accumulates the full (padded) register
+// tile with vector FMAs and only masks the write-back; the edge
+// write-back uses scalar std::fma so it rounds exactly like the vector
+// path (see the numerical contract in microkernel.h).
+//
+// The panel kernels have the opposite contract — one multiply and one
+// subtract per term, each individually rounded, accumulating directly
+// into C (see microkernel.h) — and live in their own translation unit
+// (panel_kernels.cpp, compiled with -ffp-contract=off) so that pinning
+// their rounding never taxes the kernels here, which want contraction.
 #include "src/blas/microkernel.h"
 
+#include "src/blas/panel_kernels.h"
+
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -48,7 +57,167 @@ void kernel_c(int kc, double alpha, const double* ap, const double* bp,
   }
 }
 
+// ---------------------------------------------- generic trsm leaves ---
+
+void trsm_leaf_left_c(int kb, int n, const double* inv, double* b, int ldb) {
+  double x[16];
+  for (int j = 0; j < n; ++j) {
+    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    for (int i = 0; i < kb; ++i) {
+      double s = 0.0;
+      for (int p = 0; p < kb; ++p)
+        s += inv[i + static_cast<std::size_t>(p) * kb] * bj[p];
+      x[i] = s;
+    }
+    for (int i = 0; i < kb; ++i) bj[i] = x[i];
+  }
+}
+
+void trsm_leaf_right_c(int m, int kb, const double* inv, double* b, int ldb) {
+  double x[16];
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < kb; ++j) {
+      double s = 0.0;
+      for (int p = 0; p < kb; ++p)
+        s += b[i + static_cast<std::size_t>(p) * ldb] *
+             inv[p + static_cast<std::size_t>(j) * kb];
+      x[j] = s;
+    }
+    for (int j = 0; j < kb; ++j)
+      b[i + static_cast<std::size_t>(j) * ldb] = x[j];
+  }
+}
+
 #if CALU_X86
+
+// ------------------------------------------------- avx2 trsm leaves ---
+// kb == kTrsmLeafNB (8) specialization; anything else (the one ragged
+// leaf of a non-multiple triangle) falls back to the scalar version.
+// In-place safety: each column's (row block's) inputs are consumed as
+// broadcasts (register loads) before its outputs are stored.
+
+__attribute__((target("avx2,fma"))) void trsm_leaf_left_avx2(
+    int kb, int n, const double* inv, double* b, int ldb) {
+  if (kb != 8) {
+    trsm_leaf_left_c(kb, n, inv, b, ldb);
+    return;
+  }
+  int j = 0;
+  for (; j + 2 <= n; j += 2) {
+    double* b0 = b + static_cast<std::size_t>(j) * ldb;
+    double* b1 = b0 + ldb;
+    __m256d a00 = _mm256_setzero_pd(), a01 = a00, a10 = a00, a11 = a00;
+    for (int p = 0; p < 8; ++p) {
+      const __m256d l0 = _mm256_loadu_pd(inv + p * 8);
+      const __m256d l1 = _mm256_loadu_pd(inv + p * 8 + 4);
+      const __m256d u0 = _mm256_set1_pd(b0[p]);
+      const __m256d u1 = _mm256_set1_pd(b1[p]);
+      a00 = _mm256_fmadd_pd(l0, u0, a00);
+      a01 = _mm256_fmadd_pd(l1, u0, a01);
+      a10 = _mm256_fmadd_pd(l0, u1, a10);
+      a11 = _mm256_fmadd_pd(l1, u1, a11);
+    }
+    _mm256_storeu_pd(b0, a00);
+    _mm256_storeu_pd(b0 + 4, a01);
+    _mm256_storeu_pd(b1, a10);
+    _mm256_storeu_pd(b1 + 4, a11);
+  }
+  for (; j < n; ++j) {
+    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    __m256d a0 = _mm256_setzero_pd(), a1 = a0;
+    for (int p = 0; p < 8; ++p) {
+      const __m256d u = _mm256_set1_pd(bj[p]);
+      a0 = _mm256_fmadd_pd(_mm256_loadu_pd(inv + p * 8), u, a0);
+      a1 = _mm256_fmadd_pd(_mm256_loadu_pd(inv + p * 8 + 4), u, a1);
+    }
+    _mm256_storeu_pd(bj, a0);
+    _mm256_storeu_pd(bj + 4, a1);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void trsm_leaf_right_avx2(
+    int m, int kb, const double* inv, double* b, int ldb) {
+  if (kb != 8) {
+    trsm_leaf_right_c(m, kb, inv, b, ldb);
+    return;
+  }
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    __m256d in[8];
+    for (int p = 0; p < 8; ++p)
+      in[p] = _mm256_loadu_pd(b + i + static_cast<std::size_t>(p) * ldb);
+    for (int j = 0; j < 8; ++j) {
+      const double* cj = inv + j * 8;
+      __m256d acc = _mm256_mul_pd(in[0], _mm256_set1_pd(cj[0]));
+      for (int p = 1; p < 8; ++p)
+        acc = _mm256_fmadd_pd(in[p], _mm256_set1_pd(cj[p]), acc);
+      _mm256_storeu_pd(b + i + static_cast<std::size_t>(j) * ldb, acc);
+    }
+  }
+  if (i < m) trsm_leaf_right_c(m - i, 8, inv, b + i, ldb);
+}
+
+// ----------------------------------------------- avx512 trsm leaves ---
+
+__attribute__((target("avx512f"))) void trsm_leaf_left_avx512(
+    int kb, int n, const double* inv, double* b, int ldb) {
+  if (kb != 8) {
+    trsm_leaf_left_c(kb, n, inv, b, ldb);
+    return;
+  }
+  __m512d ic[8];
+  for (int p = 0; p < 8; ++p) ic[p] = _mm512_loadu_pd(inv + p * 8);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    double* b0 = b + static_cast<std::size_t>(j) * ldb;
+    double* b1 = b0 + ldb;
+    double* b2 = b1 + ldb;
+    double* b3 = b2 + ldb;
+    __m512d a0 = _mm512_mul_pd(ic[0], _mm512_set1_pd(b0[0]));
+    __m512d a1 = _mm512_mul_pd(ic[0], _mm512_set1_pd(b1[0]));
+    __m512d a2 = _mm512_mul_pd(ic[0], _mm512_set1_pd(b2[0]));
+    __m512d a3 = _mm512_mul_pd(ic[0], _mm512_set1_pd(b3[0]));
+    for (int p = 1; p < 8; ++p) {
+      a0 = _mm512_fmadd_pd(ic[p], _mm512_set1_pd(b0[p]), a0);
+      a1 = _mm512_fmadd_pd(ic[p], _mm512_set1_pd(b1[p]), a1);
+      a2 = _mm512_fmadd_pd(ic[p], _mm512_set1_pd(b2[p]), a2);
+      a3 = _mm512_fmadd_pd(ic[p], _mm512_set1_pd(b3[p]), a3);
+    }
+    _mm512_storeu_pd(b0, a0);
+    _mm512_storeu_pd(b1, a1);
+    _mm512_storeu_pd(b2, a2);
+    _mm512_storeu_pd(b3, a3);
+  }
+  for (; j < n; ++j) {
+    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    __m512d a = _mm512_mul_pd(ic[0], _mm512_set1_pd(bj[0]));
+    for (int p = 1; p < 8; ++p)
+      a = _mm512_fmadd_pd(ic[p], _mm512_set1_pd(bj[p]), a);
+    _mm512_storeu_pd(bj, a);
+  }
+}
+
+__attribute__((target("avx512f"))) void trsm_leaf_right_avx512(
+    int m, int kb, const double* inv, double* b, int ldb) {
+  if (kb != 8) {
+    trsm_leaf_right_c(m, kb, inv, b, ldb);
+    return;
+  }
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    __m512d in[8];
+    for (int p = 0; p < 8; ++p)
+      in[p] = _mm512_loadu_pd(b + i + static_cast<std::size_t>(p) * ldb);
+    for (int j = 0; j < 8; ++j) {
+      const double* cj = inv + j * 8;
+      __m512d acc = _mm512_mul_pd(in[0], _mm512_set1_pd(cj[0]));
+      for (int p = 1; p < 8; ++p)
+        acc = _mm512_fmadd_pd(in[p], _mm512_set1_pd(cj[p]), acc);
+      _mm512_storeu_pd(b + i + static_cast<std::size_t>(j) * ldb, acc);
+    }
+  }
+  if (i < m) trsm_leaf_right_c(m - i, 8, inv, b + i, ldb);
+}
 
 // --------------------------------------------------------- avx2 kernel ---
 // 8x6: 12 ymm accumulators + 2 A vectors + 1 broadcast = 15 of 16 regs.
@@ -187,6 +356,11 @@ std::vector<MicroKernel> build_table() {
     k.mr = 24;
     k.nr = 8;
     k.fn = kernel_avx512;
+    k.panel_update = panelk::panel_update_avx512;
+    k.rank1_iamax = panelk::rank1_iamax_avx512;
+    k.iamax = panelk::iamax_avx512;
+    k.trsm_leaf_left = trsm_leaf_left_avx512;
+    k.trsm_leaf_right = trsm_leaf_right_avx512;
     derive_blocking(k, ci);
     t.push_back(k);
   }
@@ -196,6 +370,11 @@ std::vector<MicroKernel> build_table() {
     k.mr = 8;
     k.nr = 6;
     k.fn = kernel_avx2;
+    k.panel_update = panelk::panel_update_avx2;
+    k.rank1_iamax = panelk::rank1_iamax_avx2;
+    k.iamax = panelk::iamax_avx2;
+    k.trsm_leaf_left = trsm_leaf_left_avx2;
+    k.trsm_leaf_right = trsm_leaf_right_avx2;
     derive_blocking(k, ci);
     t.push_back(k);
   }
@@ -205,6 +384,11 @@ std::vector<MicroKernel> build_table() {
   k.mr = 8;
   k.nr = 4;
   k.fn = kernel_c<8, 4>;
+  k.panel_update = panelk::panel_update_c;
+  k.rank1_iamax = panelk::rank1_iamax_c;
+  k.iamax = panelk::iamax_c;
+  k.trsm_leaf_left = trsm_leaf_left_c;
+  k.trsm_leaf_right = trsm_leaf_right_c;
   derive_blocking(k, ci);
   t.push_back(k);
   return t;

@@ -37,12 +37,84 @@ using MicroKernelFn = void (*)(int kc, double alpha, const double* ap,
                                const double* bp, double* c, int ldc, int mr,
                                int nr);
 
+// --- panel-factorization kernels ---------------------------------------
+//
+// The LU panel (getf2 and the TSLU reduction operator) has a stricter
+// numerical contract than gemm: the tournament pivoting tree replays
+// pivot DECISIONS, so the blocked panel kernel must be bit-identical to
+// the classic column-at-a-time elimination it replaces — the value of
+// every element must go through the same chain of roundings.  Unblocked
+// elimination applies rank-1 updates one at a time, i.e. per element
+//     c = ((c - l0*u0) - l1*u1) - ...        (multiply, then subtract,
+//                                             each individually rounded)
+// in ascending update order, skipping a term entirely when its U entry
+// is exactly zero (so non-finite L entries cannot poison columns the
+// reference leaves untouched).  The kernels below keep exactly that
+// chain: they accumulate DIRECTLY into C in ascending-p order with one
+// multiply and one subtract per term (never the register-accumulate-
+// then-merge rounding of the gemm micro-kernel, and never a fused
+// multiply-add — they live in panel_kernels.cpp, compiled with
+// -ffp-contract=off, to pin this down).  Vectorizing across rows is
+// free: each element's chain is untouched.
+
+/// C(0:m, 0:n) -= L(0:m, 0:kb) * U(0:kb, 0:n), all column-major,
+/// accumulating directly into C in ascending-p order with mul-then-sub
+/// rounding — bit-identical to kb successive rank-1 updates.
+using PanelUpdateFn = void (*)(int m, int n, int kb, const double* l,
+                               int ldl, const double* u, int ldu, double* c,
+                               int ldc);
+
+/// Fused rank-1 update + pivot search: c[i] -= l[i] * u for i in [0, m)
+/// (mul-then-sub), returning the smallest index attaining max |c[i]| —
+/// exactly the ascending strictly-greater scan of unblocked getf2, with
+/// the search folded into the update pass that finalizes the column.
+using Rank1IamaxFn = int (*)(int m, const double* l, double u, double* c);
+
+/// Smallest index attaining max |x[i]|, i in [0, m); m >= 1.
+using IamaxFn = int (*)(int m, const double* x);
+
+// --- trsm leaf kernels -------------------------------------------------
+//
+// The blocked trsm inverts its kTrsmLeafNB-wide diagonal blocks and
+// applies them as tiny in-place matrix multiplies.  Those multiplies are
+// far below the gemm front end's pack-and-block profitability threshold,
+// so they get their own register kernels: the inverse (or the B row
+// block) stays resident in vector registers and the product is written
+// back in place with no packing and no scratch copy.  No bit-identity
+// constraint here — FMAs welcome.
+
+/// Diagonal-leaf width the trsm leaf kernels are specialized for.
+inline constexpr int kTrsmLeafNB = 8;
+
+/// B(0:kb, 0:n) := inv * B in place; inv is kb x kb, column-major,
+/// contiguous (ld = kb), kb <= 16 (fast path at kb == kTrsmLeafNB).
+using TrsmLeafLeftFn = void (*)(int kb, int n, const double* inv, double* b,
+                                int ldb);
+
+/// B(0:m, 0:kb) := B * inv in place; same inv conventions.
+using TrsmLeafRightFn = void (*)(int m, int kb, const double* inv, double* b,
+                                 int ldb);
+
 struct MicroKernel {
   const char* name = "generic";
   int mr = 8, nr = 4;  // register tile
   int mc = 256, kc = 256, nc = 4096;  // cache blocking (derived at startup)
   MicroKernelFn fn = nullptr;
+  PanelUpdateFn panel_update = nullptr;
+  Rank1IamaxFn rank1_iamax = nullptr;
+  IamaxFn iamax = nullptr;
+  TrsmLeafLeftFn trsm_leaf_left = nullptr;
+  TrsmLeafRightFn trsm_leaf_right = nullptr;
 };
+
+/// The panel kernels' elementary operation, for writing bit-exact
+/// references in tests: one multiply and one subtract, each individually
+/// rounded, with the intermediate forced to memory so no compiler can
+/// contract the pair into an FMA whatever its -ffp-contract default.
+inline double mul_then_sub(double c, double a, double b) {
+  volatile double p = a * b;
+  return c - p;
+}
 
 /// The kernel the process dispatches to.  Selected once (thread-safe, on
 /// first use) as: $CALU_KERNEL if set, else the best variant the CPU

@@ -1,0 +1,339 @@
+// panel_kernels.cpp — the panel-factorization register kernels.
+//
+// Numerical contract (microkernel.h): every C element goes through
+// exactly the chain of roundings of the classic column-at-a-time
+// elimination — one multiply and one subtract per term, in ascending
+// update order, and NO update at all for a term whose U entry is exactly
+// zero (the unblocked algorithm's `if (ujj == 0.0) continue;`, which
+// matters when the panel holds non-finite values: NaN * 0.0 would
+// otherwise poison columns the reference leaves untouched, changing
+// pivot sequences).  This TU is compiled with -ffp-contract=off
+// (CMakeLists.txt) so nothing here can be re-fused into FMAs — GCC's
+// default -ffp-contract=fast would otherwise fuse the explicit
+// _mm512_mul/_mm512_sub intrinsic pairs inside the target("avx512f")
+// functions (AVX-512F implies FMA), and the scalar _c kernels on any
+// architecture whose baseline ISA has FMA, silently changing pivot
+// decisions.
+// The gemm and trsm-leaf kernels live in microkernel.cpp, outside the
+// flag's reach, because they want contraction.
+#include "src/blas/panel_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define CALU_X86 1
+#include <immintrin.h>
+#else
+#define CALU_X86 0
+#endif
+
+namespace calu::blas::panelk {
+
+// ----------------------------------------------- generic panel kernels ---
+//
+// The (j, p, i) loop order streams the rank-1 updates in ascending p with
+// the row loop innermost: auto-vectorizable, and every element's chain is
+// exactly that of unblocked elimination (mul-then-sub is pinned by this
+// TU's -ffp-contract=off).
+
+void panel_update_c(int m, int n, int kb, const double* l, int ldl,
+                    const double* u, int ldu, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    const double* uj = u + static_cast<std::size_t>(j) * ldu;
+    for (int p = 0; p < kb; ++p) {
+      const double up = uj[p];
+      if (up == 0.0) continue;
+      const double* lp = l + static_cast<std::size_t>(p) * ldl;
+      for (int i = 0; i < m; ++i) cj[i] -= lp[i] * up;
+    }
+  }
+}
+
+int iamax_c(int m, const double* x) {
+  int piv = 0;
+  double best = std::fabs(x[0]);
+  for (int i = 1; i < m; ++i) {
+    const double v = std::fabs(x[i]);
+    if (v > best) {
+      best = v;
+      piv = i;
+    }
+  }
+  return piv;
+}
+
+int rank1_iamax_c(int m, const double* l, double u, double* c) {
+  // A zero multiplier means the unblocked algorithm skipped the update
+  // entirely; the fused form then degenerates to the plain pivot scan.
+  if (u == 0.0) return iamax_c(m, c);
+  for (int i = 0; i < m; ++i) c[i] -= l[i] * u;
+  return iamax_c(m, c);
+}
+
+#if CALU_X86
+
+// -------------------------------------------------- avx2 panel kernels ---
+// Register blocking: NC columns of C resident in ymm accumulators while
+// the p loop streams L — C is loaded and stored once per (row-block,
+// column-quad) instead of once per rank-1.  Templating on NC lets the
+// 1..3-column tail reuse the same body (lambdas must be avoided: they do
+// not inherit the enclosing function's target attribute).
+
+template <int NC>
+__attribute__((target("avx2"))) void panel_cols_avx2(int m, int kb,
+                                                     const double* l, int ldl,
+                                                     const double* u, int ldu,
+                                                     double* c, int ldc) {
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    __m256d acc[NC][2];
+    for (int q = 0; q < NC; ++q) {
+      double* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      acc[q][0] = _mm256_loadu_pd(cq);
+      acc[q][1] = _mm256_loadu_pd(cq + 4);
+    }
+    for (int p = 0; p < kb; ++p) {
+      const double* lp = l + static_cast<std::size_t>(p) * ldl + i;
+      const __m256d l0 = _mm256_loadu_pd(lp);
+      const __m256d l1 = _mm256_loadu_pd(lp + 4);
+      for (int q = 0; q < NC; ++q) {
+        const double us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0) continue;  // the unblocked algorithm's skip
+        const __m256d b = _mm256_set1_pd(us);
+        acc[q][0] = _mm256_sub_pd(acc[q][0], _mm256_mul_pd(l0, b));
+        acc[q][1] = _mm256_sub_pd(acc[q][1], _mm256_mul_pd(l1, b));
+      }
+    }
+    for (int q = 0; q < NC; ++q) {
+      double* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      _mm256_storeu_pd(cq, acc[q][0]);
+      _mm256_storeu_pd(cq + 4, acc[q][1]);
+    }
+  }
+  // Scalar row tail; mul-then-sub (this TU's -ffp-contract=off, and the
+  // avx2-only target has no scalar FMA to contract into anyway).
+  for (; i < m; ++i)
+    for (int q = 0; q < NC; ++q) {
+      double v = c[i + static_cast<std::size_t>(q) * ldc];
+      for (int p = 0; p < kb; ++p) {
+        const double us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0) continue;
+        v -= l[i + static_cast<std::size_t>(p) * ldl] * us;
+      }
+      c[i + static_cast<std::size_t>(q) * ldc] = v;
+    }
+}
+
+__attribute__((target("avx2"))) void panel_update_avx2(
+    int m, int n, int kb, const double* l, int ldl, const double* u, int ldu,
+    double* c, int ldc) {
+  int j = 0;
+  for (; j + 4 <= n; j += 4)
+    panel_cols_avx2<4>(m, kb, l, ldl, u + static_cast<std::size_t>(j) * ldu,
+                       ldu, c + static_cast<std::size_t>(j) * ldc, ldc);
+  for (; j < n; ++j)
+    panel_cols_avx2<1>(m, kb, l, ldl, u + static_cast<std::size_t>(j) * ldu,
+                       ldu, c + static_cast<std::size_t>(j) * ldc, ldc);
+}
+
+__attribute__((target("avx2"))) inline __m256d abs256(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+// Shared max-then-find-first tail: |values| are exact, so locating the
+// smallest index equal to the running maximum reproduces the ascending
+// strictly-greater scan of unblocked getf2 exactly — for finite data.
+// The vector max reductions drop or propagate NaNs differently per ISA
+// (x86 max_pd returns its second operand on unordered), so every SIMD
+// search below tracks whether it saw a NaN and, if so, redoes the scan
+// with the scalar reference semantics (NaN never selected, best seeded
+// from element 0) — all dispatch variants then agree even on garbage.
+namespace {
+int find_first_absmax(int m, const double* x, double best) {
+  for (int i = 0; i < m; ++i)
+    if (std::fabs(x[i]) == best) return i;
+  return 0;
+}
+}  // namespace
+
+__attribute__((target("avx2"))) int rank1_iamax_avx2(int m, const double* l,
+                                                     double u, double* c) {
+  if (u == 0.0) return iamax_avx2(m, c);
+  const __m256d b = _mm256_set1_pd(u);
+  __m256d vmax = _mm256_setzero_pd();
+  __m256d unord = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256d v =
+        _mm256_sub_pd(_mm256_loadu_pd(c + i),
+                      _mm256_mul_pd(_mm256_loadu_pd(l + i), b));
+    _mm256_storeu_pd(c + i, v);
+    unord = _mm256_or_pd(unord, _mm256_cmp_pd(v, v, _CMP_UNORD_Q));
+    vmax = _mm256_max_pd(vmax, abs256(v));
+  }
+  bool saw_nan = _mm256_movemask_pd(unord) != 0;
+  double tmp[4];
+  _mm256_storeu_pd(tmp, vmax);
+  double best = std::max(std::max(tmp[0], tmp[1]), std::max(tmp[2], tmp[3]));
+  for (; i < m; ++i) {
+    c[i] -= l[i] * u;
+    saw_nan = saw_nan || std::isnan(c[i]);
+    best = std::max(best, std::fabs(c[i]));
+  }
+  if (saw_nan) return iamax_c(m, c);
+  return find_first_absmax(m, c, best);
+}
+
+__attribute__((target("avx2"))) int iamax_avx2(int m, const double* x) {
+  __m256d vmax = _mm256_setzero_pd();
+  __m256d unord = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    unord = _mm256_or_pd(unord, _mm256_cmp_pd(v, v, _CMP_UNORD_Q));
+    vmax = _mm256_max_pd(vmax, abs256(v));
+  }
+  bool saw_nan = _mm256_movemask_pd(unord) != 0;
+  double tmp[4];
+  _mm256_storeu_pd(tmp, vmax);
+  double best = std::max(std::max(tmp[0], tmp[1]), std::max(tmp[2], tmp[3]));
+  for (; i < m; ++i) {
+    saw_nan = saw_nan || std::isnan(x[i]);
+    best = std::max(best, std::fabs(x[i]));
+  }
+  if (saw_nan) return iamax_c(m, x);
+  return find_first_absmax(m, x, best);
+}
+
+// ------------------------------------------------ avx512 panel kernels ---
+
+template <int NC>
+__attribute__((target("avx512f"))) void panel_cols_avx512(
+    int m, int kb, const double* l, int ldl, const double* u, int ldu,
+    double* c, int ldc) {
+  int i = 0;
+  for (; i + 16 <= m; i += 16) {
+    __m512d acc[NC][2];
+    for (int q = 0; q < NC; ++q) {
+      double* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      acc[q][0] = _mm512_loadu_pd(cq);
+      acc[q][1] = _mm512_loadu_pd(cq + 8);
+    }
+    for (int p = 0; p < kb; ++p) {
+      const double* lp = l + static_cast<std::size_t>(p) * ldl + i;
+      const __m512d l0 = _mm512_loadu_pd(lp);
+      const __m512d l1 = _mm512_loadu_pd(lp + 8);
+      for (int q = 0; q < NC; ++q) {
+        const double us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0) continue;  // the unblocked algorithm's skip
+        const __m512d b = _mm512_set1_pd(us);
+        acc[q][0] = _mm512_sub_pd(acc[q][0], _mm512_mul_pd(l0, b));
+        acc[q][1] = _mm512_sub_pd(acc[q][1], _mm512_mul_pd(l1, b));
+      }
+    }
+    for (int q = 0; q < NC; ++q) {
+      double* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      _mm512_storeu_pd(cq, acc[q][0]);
+      _mm512_storeu_pd(cq + 8, acc[q][1]);
+    }
+  }
+  // Masked row tail, 8 lanes at a time.
+  for (; i < m; i += 8) {
+    const int rem = m - i < 8 ? m - i : 8;
+    const __mmask8 k = static_cast<__mmask8>((1u << rem) - 1u);
+    const __m512d zero = _mm512_setzero_pd();
+    __m512d acc[NC];
+    for (int q = 0; q < NC; ++q)
+      acc[q] = _mm512_mask_loadu_pd(
+          zero, k, c + static_cast<std::size_t>(q) * ldc + i);
+    for (int p = 0; p < kb; ++p) {
+      const __m512d l0 = _mm512_mask_loadu_pd(
+          zero, k, l + static_cast<std::size_t>(p) * ldl + i);
+      for (int q = 0; q < NC; ++q) {
+        const double us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0) continue;
+        const __m512d b = _mm512_set1_pd(us);
+        acc[q] = _mm512_sub_pd(acc[q], _mm512_mul_pd(l0, b));
+      }
+    }
+    for (int q = 0; q < NC; ++q)
+      _mm512_mask_storeu_pd(c + static_cast<std::size_t>(q) * ldc + i, k,
+                            acc[q]);
+  }
+}
+
+__attribute__((target("avx512f"))) void panel_update_avx512(
+    int m, int n, int kb, const double* l, int ldl, const double* u, int ldu,
+    double* c, int ldc) {
+  int j = 0;
+  for (; j + 4 <= n; j += 4)
+    panel_cols_avx512<4>(m, kb, l, ldl, u + static_cast<std::size_t>(j) * ldu,
+                         ldu, c + static_cast<std::size_t>(j) * ldc, ldc);
+  for (; j < n; ++j)
+    panel_cols_avx512<1>(m, kb, l, ldl, u + static_cast<std::size_t>(j) * ldu,
+                         ldu, c + static_cast<std::size_t>(j) * ldc, ldc);
+}
+
+__attribute__((target("avx512f"))) int rank1_iamax_avx512(int m,
+                                                          const double* l,
+                                                          double u,
+                                                          double* c) {
+  if (u == 0.0) return iamax_avx512(m, c);
+  const __m512d b = _mm512_set1_pd(u);
+  __m512d vmax = _mm512_setzero_pd();
+  __mmask8 unord = 0;
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512d v =
+        _mm512_sub_pd(_mm512_loadu_pd(c + i),
+                      _mm512_mul_pd(_mm512_loadu_pd(l + i), b));
+    _mm512_storeu_pd(c + i, v);
+    unord |= _mm512_cmp_pd_mask(v, v, _CMP_UNORD_Q);
+    // masked form with explicit src: GCC-12's unmasked wrapper warns on
+    // its internal undefined passthru
+    vmax = _mm512_mask_max_pd(vmax, 0xFF, vmax, _mm512_abs_pd(v));
+  }
+  bool saw_nan = unord != 0;
+  double tmp[8];
+  _mm512_storeu_pd(tmp, vmax);
+  double best = tmp[0];
+  for (int q = 1; q < 8; ++q) best = std::max(best, tmp[q]);
+  for (; i < m; ++i) {
+    c[i] -= l[i] * u;
+    saw_nan = saw_nan || std::isnan(c[i]);
+    best = std::max(best, std::fabs(c[i]));
+  }
+  if (saw_nan) return iamax_c(m, c);
+  return find_first_absmax(m, c, best);
+}
+
+__attribute__((target("avx512f"))) int iamax_avx512(int m, const double* x) {
+  __m512d vmax = _mm512_setzero_pd();
+  __mmask8 unord = 0;
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512d v = _mm512_loadu_pd(x + i);
+    unord |= _mm512_cmp_pd_mask(v, v, _CMP_UNORD_Q);
+    // masked form with explicit src: GCC-12's unmasked wrapper warns on
+    // its internal undefined passthru
+    vmax = _mm512_mask_max_pd(vmax, 0xFF, vmax, _mm512_abs_pd(v));
+  }
+  bool saw_nan = unord != 0;
+  double tmp[8];
+  _mm512_storeu_pd(tmp, vmax);
+  double best = tmp[0];
+  for (int q = 1; q < 8; ++q) best = std::max(best, tmp[q]);
+  for (; i < m; ++i) {
+    saw_nan = saw_nan || std::isnan(x[i]);
+    best = std::max(best, std::fabs(x[i]));
+  }
+  if (saw_nan) return iamax_c(m, x);
+  return find_first_absmax(m, x, best);
+}
+
+#endif  // CALU_X86
+
+}  // namespace calu::blas::panelk

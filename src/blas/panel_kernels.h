@@ -1,0 +1,35 @@
+// panel_kernels.h — internal declarations of the panel-factorization
+// register kernels (panel_update / rank1_iamax / iamax per dispatch
+// variant), implemented in panel_kernels.cpp.
+//
+// These live in their own translation unit because their numerical
+// contract (microkernel.h: one multiply and one subtract per term, each
+// individually rounded, update skipped entirely when the U entry is
+// exactly zero — the chains of the classic unblocked elimination) is
+// enforced by compiling that TU with -ffp-contract=off.  Scoping the
+// flag to this file keeps it away from the gemm kernels: the generic
+// gemm kernel's accumulation relies on compiler contraction on targets
+// whose baseline ISA has FMA (e.g. aarch64), and must not be taxed for
+// the panel's bit-identity guarantee.
+#pragma once
+
+namespace calu::blas::panelk {
+
+void panel_update_c(int m, int n, int kb, const double* l, int ldl,
+                    const double* u, int ldu, double* c, int ldc);
+int rank1_iamax_c(int m, const double* l, double u, double* c);
+int iamax_c(int m, const double* x);
+
+#if defined(__x86_64__) || defined(__i386__)
+void panel_update_avx2(int m, int n, int kb, const double* l, int ldl,
+                       const double* u, int ldu, double* c, int ldc);
+int rank1_iamax_avx2(int m, const double* l, double u, double* c);
+int iamax_avx2(int m, const double* x);
+
+void panel_update_avx512(int m, int n, int kb, const double* l, int ldl,
+                         const double* u, int ldu, double* c, int ldc);
+int rank1_iamax_avx512(int m, const double* l, double u, double* c);
+int iamax_avx512(int m, const double* x);
+#endif
+
+}  // namespace calu::blas::panelk

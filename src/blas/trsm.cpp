@@ -1,22 +1,52 @@
 // trsm.cpp — triangular solves with multiple right-hand sides.
 //
-// Blocked formulation: the triangle is processed in nb-wide diagonal blocks;
-// the off-diagonal rank-nb updates are delegated to gemm so the O(n^2 m)
-// bulk runs through the fast kernel.  All four (side, uplo) combinations the
-// factorizations and solvers in this repo need are provided for Trans::No;
-// Trans::Yes is supported through the equivalent flipped-triangle case.
+// Two regimes:
+//
+//   Wide B (>= kInvMinRhs right-hand sides): the solve is recast as gemm
+//   (the BLIS trick).  The triangle is split recursively — each level
+//   peels the off-diagonal rectangle into one gemm whose k grows with
+//   the level, so the O(n^2 m) bulk runs through the dispatched register
+//   micro-kernels at near-gemm rates — and at the kInvNB-wide leaves the
+//   diagonal block is INVERTED into aligned scratch (once per call; each
+//   leaf is visited exactly once) so the leaf solve is itself a small
+//   gemm,  B_k := inv(T_kk) * B_k,  instead of a scalar substitution
+//   sweep per right-hand side.  Leaves are kept narrow because the
+//   explicit inverse pays backward error proportional to the leaf's
+//   condition number: at width 8 (kTrsmLeafNB) the growth is a small
+//   constant even for the unit triangles partial pivoting produces
+//   (covered by the conformance sweep in tests/blas_conformance_test.cpp
+//   and the residual checks in tests/blas_test.cpp — width 16 was
+//   measurably over their tolerances on random unit triangles).
+//
+//   Narrow B (getrs-style solves): substitution over kTrsmBlock-wide
+//   packed diagonal blocks, off-diagonal gemm — nothing amortizes an
+//   inversion, and the pre-overhaul behavior is preserved exactly.
+//
+// All four (side, uplo) combinations take the fast path for Trans::No,
+// plus the two transposed cases Cholesky leans on (Right/Lower and
+// Left/Lower); the Trans::Yes Upper cases stay unblocked (only used with
+// small triangles).
 #include "src/blas/blas.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstring>
 
+#include "src/blas/microkernel.h"
 #include "src/util/aligned_buffer.h"
 
 namespace calu::blas {
 namespace {
 
-constexpr int kNB = 64;  // diagonal block width
+constexpr int kNB = kTrsmBlock;  // substitution-path diagonal block width
+constexpr int kInvNB = kTrsmLeafNB;  // width of the inverted leaf blocks
+constexpr int kInvMinRhs = 32;   // fewest RHS that pay for the gemm recast
+
+// Couplings with inner dimension <= kSmallK sit below gemm's blocked-path
+// profitability threshold (it would take its naive scalar shortcut);
+// route them through the dispatched panel_update kernel instead, which
+// accumulates directly into C with no packing.
+constexpr int kSmallK = 16;
 
 inline double diag_val(const double* t, int ldt, Diag diag, int i) {
   return diag == Diag::Unit ? 1.0 : t[i + static_cast<std::size_t>(i) * ldt];
@@ -39,6 +69,152 @@ const double* pack_diag(const double* t, int ldt, int nb) {
                 sizeof(double) * nb);
   return buf;
 }
+
+// ----------------------------------------- inverted-leaf gemm recast ---
+
+// inv := T^{-1} for the nb x nb lower triangle T; columns solved by
+// forward substitution, upper part zero-filled.
+void invert_lower(const double* t, int ldt, int nb, Diag diag, double* inv) {
+  for (int j = 0; j < nb; ++j) {
+    double* x = inv + static_cast<std::size_t>(j) * nb;
+    for (int i = 0; i < j; ++i) x[i] = 0.0;
+    x[j] = 1.0 / diag_val(t, ldt, diag, j);
+    for (int i = j + 1; i < nb; ++i) {
+      const double* ti = t + i;
+      double s = 0.0;
+      for (int p = j; p < i; ++p)
+        s += ti[static_cast<std::size_t>(p) * ldt] * x[p];
+      x[i] = -s / diag_val(t, ldt, diag, i);
+    }
+  }
+}
+
+// inv := T^{-1} for the nb x nb upper triangle T (backward substitution).
+void invert_upper(const double* t, int ldt, int nb, Diag diag, double* inv) {
+  for (int j = 0; j < nb; ++j) {
+    double* x = inv + static_cast<std::size_t>(j) * nb;
+    for (int i = j + 1; i < nb; ++i) x[i] = 0.0;
+    x[j] = 1.0 / diag_val(t, ldt, diag, j);
+    for (int i = j - 1; i >= 0; --i) {
+      const double* ti = t + i;
+      double s = 0.0;
+      for (int p = i + 1; p <= j; ++p)
+        s += ti[static_cast<std::size_t>(p) * ldt] * x[p];
+      x[i] = -s / diag_val(t, ldt, diag, i);
+    }
+  }
+}
+
+// Split a triangle of dimension n > kInvNB roughly in half, rounded to a
+// multiple of the leaf width so leaves stay full-sized.
+int split_point(int n) {
+  const int half = (n / 2 + kInvNB - 1) / kInvNB * kInvNB;
+  return std::min(half, n - 1);
+}
+
+// C(0:m, 0:n) -= L * U through the dispatched path that fits the inner
+// dimension: panel_update below kSmallK, gemm above it.
+void coupled_update(int m, int n, int k, const double* l, int ldl,
+                    const double* u, int ldu, double* c, int ldc) {
+  if (k <= kSmallK)
+    active_kernel().panel_update(m, n, k, l, ldl, u, ldu, c, ldc);
+  else
+    gemm(Trans::No, Trans::No, m, n, k, -1.0, l, ldl, u, ldu, 1.0, c, ldc);
+}
+
+// Copy-transpose the r x h block at `t` (leading dim ldt) into `buf`
+// (h x r, leading dim h) — the Trans::Yes couplings below take this path
+// only when rows * cols fits the kSmallK-square stack buffer.
+const double* transpose_small(const double* t, int ldt, int rows, int cols,
+                              double* buf) {
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i)
+      buf[j + static_cast<std::size_t>(i) * cols] =
+          t[i + static_cast<std::size_t>(j) * ldt];
+  return buf;
+}
+
+// Recursive wide-B solver.  Only the six fast (side, uplo, trans)
+// combinations reach here; alpha is already applied.
+void solve_rec(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
+               const double* t, int ldt, double* b, int ldb) {
+  const int tdim = side == Side::Left ? m : n;
+  if (tdim <= kInvNB) {
+    const MicroKernel& mk = active_kernel();
+    double inv[kInvNB * kInvNB];
+    if (uplo == UpLo::Lower)
+      invert_lower(t, ldt, tdim, diag, inv);
+    else
+      invert_upper(t, ldt, tdim, diag, inv);
+    if (trans == Trans::Yes) {
+      // op(inv) = inv^T: transpose the tiny inverse once so the leaf
+      // kernels only ever see the No-trans layout.
+      double tr[kInvNB * kInvNB];
+      transpose_small(inv, tdim, tdim, tdim, tr);
+      std::memcpy(inv, tr, sizeof(double) * tdim * tdim);
+    }
+    if (side == Side::Left)
+      mk.trsm_leaf_left(tdim, n, inv, b, ldb);
+    else
+      mk.trsm_leaf_right(m, tdim, inv, b, ldb);
+    return;
+  }
+  const int h = split_point(tdim);
+  const int r = tdim - h;
+  const double* t22 = t + h + static_cast<std::size_t>(h) * ldt;
+  double tt[kSmallK * kSmallK];  // transpose scratch for small couplings
+  if (side == Side::Left) {
+    double* b2 = b + h;
+    if (uplo == UpLo::Lower && trans == Trans::No) {
+      // X1 := inv(T11) B1 ; B2 -= T21 X1 ; X2 := inv(T22) B2.
+      solve_rec(side, uplo, trans, diag, h, n, t, ldt, b, ldb);
+      coupled_update(r, n, h, t + h, ldt, b, ldb, b2, ldb);
+      solve_rec(side, uplo, trans, diag, r, n, t22, ldt, b2, ldb);
+    } else if (uplo == UpLo::Upper) {  // Trans::No
+      // X2 := inv(T22) B2 ; B1 -= T12 X2 ; X1 := inv(T11) B1.
+      solve_rec(side, uplo, trans, diag, r, n, t22, ldt, b2, ldb);
+      coupled_update(h, n, r, t + static_cast<std::size_t>(h) * ldt, ldt, b2,
+                     ldb, b, ldb);
+      solve_rec(side, uplo, trans, diag, h, n, t, ldt, b, ldb);
+    } else {  // Lower, Trans::Yes: T^T upper, bottom-up.
+      // X2 := inv(T22^T) B2 ; B1 -= T21^T X2 ; X1 := inv(T11^T) B1.
+      solve_rec(side, uplo, trans, diag, r, n, t22, ldt, b2, ldb);
+      if (r * h <= kSmallK * kSmallK)
+        coupled_update(h, n, r, transpose_small(t + h, ldt, r, h, tt), h, b2,
+                       ldb, b, ldb);
+      else
+        gemm(Trans::Yes, Trans::No, h, n, r, -1.0, t + h, ldt, b2, ldb, 1.0,
+             b, ldb);
+      solve_rec(side, uplo, trans, diag, h, n, t, ldt, b, ldb);
+    }
+  } else {
+    double* b2 = b + static_cast<std::size_t>(h) * ldb;
+    if (uplo == UpLo::Upper && trans == Trans::No) {
+      // X1 := B1 inv(T11) ; B2 -= X1 T12 ; X2 := B2 inv(T22).
+      solve_rec(side, uplo, trans, diag, m, h, t, ldt, b, ldb);
+      coupled_update(m, r, h, b, ldb, t + static_cast<std::size_t>(h) * ldt,
+                     ldt, b2, ldb);
+      solve_rec(side, uplo, trans, diag, m, r, t22, ldt, b2, ldb);
+    } else if (trans == Trans::No) {  // Lower
+      // X2 := B2 inv(T22) ; B1 -= X2 T21 ; X1 := B1 inv(T11).
+      solve_rec(side, uplo, trans, diag, m, r, t22, ldt, b2, ldb);
+      coupled_update(m, h, r, b2, ldb, t + h, ldt, b, ldb);
+      solve_rec(side, uplo, trans, diag, m, h, t, ldt, b, ldb);
+    } else {  // Lower, Trans::Yes: T^T upper, left-to-right.
+      // X1 := B1 inv(T11^T) ; B2 -= X1 T21^T ; X2 := B2 inv(T22^T).
+      solve_rec(side, uplo, trans, diag, m, h, t, ldt, b, ldb);
+      if (r * h <= kSmallK * kSmallK)
+        coupled_update(m, r, h, b, ldb, transpose_small(t + h, ldt, r, h, tt),
+                       h, b2, ldb);
+      else
+        gemm(Trans::No, Trans::Yes, m, r, h, -1.0, b, ldb, t + h, ldt, 1.0,
+             b2, ldb);
+      solve_rec(side, uplo, trans, diag, m, r, t22, ldt, b2, ldb);
+    }
+  }
+}
+
+// ------------------------------------------------- substitution path ---
 
 // B := T^{-1} B, T lower triangular m x m (unblocked).
 void left_lower_unblocked(Diag diag, int m, int n, const double* t, int ldt,
@@ -116,11 +292,15 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       for (int i = 0; i < m; ++i) bj[i] *= alpha;
     }
   }
-  // op(T)^{-1} with op = transpose solves the flipped-triangle system on the
-  // same storage: (T^T)^{-1} for T lower == solving an upper system whose
-  // (i,j) entry is T(j,i).  The two transposed cases Cholesky leans on
-  // (Right/Lower and Left/Lower) get blocked gemm-rich paths; the rest stay
-  // unblocked (only used with small triangles).
+  // op(T)^{-1} with op = transpose solves the flipped-triangle system on
+  // the same storage: (T^T)^{-1} for T lower == solving an upper system
+  // whose (i,j) entry is T(j,i).
+  const bool fast_case = trans == Trans::No || uplo == UpLo::Lower;
+  const int rhs = side == Side::Left ? n : m;
+  if (fast_case && rhs >= kInvMinRhs) {
+    solve_rec(side, uplo, trans, diag, m, n, t, ldt, b, ldb);
+    return;
+  }
   if (trans == Trans::Yes && uplo == UpLo::Lower && side == Side::Right) {
     // B := B * (T^T)^{-1}, T^T upper: left-to-right block solve.
     for (int j = 0; j < n; j += kNB) {
@@ -177,58 +357,30 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
   }
   if (trans == Trans::Yes) {
     if (side == Side::Left) {
-      // Solve op(T) X = B column by column.
+      // Solve op(T) X = B column by column; only Upper arrives here
+      // (T^T lower: forward substitution on transposed coefficients).
       for (int j = 0; j < n; ++j) {
         double* bj = b + static_cast<std::size_t>(j) * ldb;
-        if (uplo == UpLo::Lower) {
-          // T^T is upper: back substitution.
-          for (int i = m - 1; i >= 0; --i) {
-            double s = bj[i];
-            for (int p = i + 1; p < m; ++p)
-              s -= t[p + static_cast<std::size_t>(i) * ldt] * bj[p];
-            bj[i] = s / diag_val(t, ldt, diag, i);
-          }
-        } else {
-          // T^T is lower: forward substitution.
-          for (int i = 0; i < m; ++i) {
-            double s = bj[i];
-            for (int p = 0; p < i; ++p)
-              s -= t[p + static_cast<std::size_t>(i) * ldt] * bj[p];
-            bj[i] = s / diag_val(t, ldt, diag, i);
-          }
+        for (int i = 0; i < m; ++i) {
+          double s = bj[i];
+          for (int p = 0; p < i; ++p)
+            s -= t[p + static_cast<std::size_t>(i) * ldt] * bj[p];
+          bj[i] = s / diag_val(t, ldt, diag, i);
         }
       }
     } else {
-      // X op(T) = B: process rows; equivalent to the flipped right case.
-      for (int j = 0; j < n; ++j) (void)j;  // fallthrough below
-      if (uplo == UpLo::Lower) {
-        // X T^T = B with T lower => T^T upper => right_upper on transposed
-        // coefficients: explicit loop.
-        for (int jj = 0; jj < n; ++jj) {
-          double* bj = b + static_cast<std::size_t>(jj) * ldb;
-          for (int p = 0; p < jj; ++p) {
-            const double tpj = t[jj + static_cast<std::size_t>(p) * ldt];
-            if (tpj == 0.0) continue;
-            const double* bp = b + static_cast<std::size_t>(p) * ldb;
-            for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
-          }
-          const double d = diag_val(t, ldt, diag, jj);
-          if (d != 1.0)
-            for (int i = 0; i < m; ++i) bj[i] /= d;
+      // X op(T) = B with T upper => T^T lower => right-to-left.
+      for (int jj = n - 1; jj >= 0; --jj) {
+        double* bj = b + static_cast<std::size_t>(jj) * ldb;
+        for (int p = jj + 1; p < n; ++p) {
+          const double tpj = t[jj + static_cast<std::size_t>(p) * ldt];
+          if (tpj == 0.0) continue;
+          const double* bp = b + static_cast<std::size_t>(p) * ldb;
+          for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
         }
-      } else {
-        for (int jj = n - 1; jj >= 0; --jj) {
-          double* bj = b + static_cast<std::size_t>(jj) * ldb;
-          for (int p = jj + 1; p < n; ++p) {
-            const double tpj = t[jj + static_cast<std::size_t>(p) * ldt];
-            if (tpj == 0.0) continue;
-            const double* bp = b + static_cast<std::size_t>(p) * ldb;
-            for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
-          }
-          const double d = diag_val(t, ldt, diag, jj);
-          if (d != 1.0)
-            for (int i = 0; i < m; ++i) bj[i] /= d;
-        }
+        const double d = diag_val(t, ldt, diag, jj);
+        if (d != 1.0)
+          for (int i = 0; i < m; ++i) bj[i] /= d;
       }
     }
     return;

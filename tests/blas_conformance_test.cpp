@@ -22,6 +22,7 @@
 #include "src/blas/blas.h"
 #include "src/blas/microkernel.h"
 #include "src/layout/matrix.h"
+#include "tests/test_util.h"
 
 namespace calu {
 namespace {
@@ -98,13 +99,7 @@ void check_case(Trans ta, Trans tb, int m, int n, int k, double alpha,
   check(c, "gemm_packed");
 }
 
-class KernelConformance : public ::testing::TestWithParam<std::string> {
- protected:
-  void SetUp() override {
-    ASSERT_TRUE(blas::select_kernel(GetParam().c_str()));
-  }
-  void TearDown() override { blas::select_kernel(nullptr); }
-};
+class KernelConformance : public test::KernelVariantTest {};
 
 TEST_P(KernelConformance, RaggedAndStripBoundarySweep) {
   const blas::MicroKernel& mk = blas::active_kernel();
@@ -158,14 +153,131 @@ TEST_P(KernelConformance, CacheBlockBoundaries) {
   }
 }
 
-std::string kernel_case_name(
-    const ::testing::TestParamInfo<std::string>& info) {
-  return info.param;
+// ---------------------------------------------------------------- TRSM ---
+//
+// The blocked trsm recasts its diagonal-block solves as multiplies by
+// inverted leaf blocks and its couplings as panel_update/gemm calls, per
+// dispatch variant.  Sweep all 16 side/uplo/trans/diag combinations at
+// the structural boundary sizes — the inverted-leaf width (kTrsmLeafNB),
+// the substitution/inverse threshold (32 right-hand sides), and the
+// substitution-path block (kTrsmBlock) — against a naive dense
+// substitution reference.  Off-diagonals are scaled by 0.5/d so every
+// triangle (unit ones included) stays well conditioned: the sweep then
+// compares SOLUTIONS elementwise, which pins the blocked decomposition
+// itself instead of hiding indexing bugs behind a loose residual.
+
+using blas::Diag;
+using blas::Side;
+using blas::UpLo;
+
+void ref_trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
+              double alpha, const double* t, int ldt, double* b, int ldb) {
+  const int d = side == Side::Left ? m : n;
+  // Densify op(T), unit diagonal applied.
+  std::vector<double> tf(static_cast<std::size_t>(d) * d, 0.0);
+  for (int j = 0; j < d; ++j)
+    for (int i = 0; i < d; ++i) {
+      const bool in_tri = uplo == UpLo::Lower ? i >= j : i <= j;
+      if (!in_tri) continue;
+      double v = t[i + static_cast<std::size_t>(j) * ldt];
+      if (i == j && diag == Diag::Unit) v = 1.0;
+      if (trans == Trans::Yes)
+        tf[j + static_cast<std::size_t>(i) * d] = v;
+      else
+        tf[i + static_cast<std::size_t>(j) * d] = v;
+    }
+  const bool lower = (uplo == UpLo::Lower) != (trans == Trans::Yes);
+  for (int j = 0; j < n; ++j) {
+    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    for (int i = 0; i < m; ++i) bj[i] *= alpha;
+  }
+  if (side == Side::Left) {
+    for (int j = 0; j < n; ++j) {
+      double* bj = b + static_cast<std::size_t>(j) * ldb;
+      if (lower) {
+        for (int i = 0; i < d; ++i) {
+          double s = bj[i];
+          for (int p = 0; p < i; ++p)
+            s -= tf[i + static_cast<std::size_t>(p) * d] * bj[p];
+          bj[i] = s / tf[i + static_cast<std::size_t>(i) * d];
+        }
+      } else {
+        for (int i = d - 1; i >= 0; --i) {
+          double s = bj[i];
+          for (int p = i + 1; p < d; ++p)
+            s -= tf[i + static_cast<std::size_t>(p) * d] * bj[p];
+          bj[i] = s / tf[i + static_cast<std::size_t>(i) * d];
+        }
+      }
+    }
+  } else {
+    // X * TF = B: columns of X resolve left-to-right for upper TF,
+    // right-to-left for lower.
+    const int j0 = lower ? d - 1 : 0;
+    const int j1 = lower ? -1 : d;
+    const int step = lower ? -1 : 1;
+    for (int j = j0; j != j1; j += step) {
+      double* bj = b + static_cast<std::size_t>(j) * ldb;
+      for (int p = j0; p != j; p += step) {
+        const double tpj = tf[p + static_cast<std::size_t>(j) * d];
+        if (tpj == 0.0) continue;
+        const double* bp = b + static_cast<std::size_t>(p) * ldb;
+        for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
+      }
+      const double dd = tf[j + static_cast<std::size_t>(j) * d];
+      for (int i = 0; i < m; ++i) bj[i] /= dd;
+    }
+  }
+}
+
+TEST_P(KernelConformance, TrsmAllCasesBoundarySweep) {
+  const int kLeaf = blas::kTrsmLeafNB;
+  const int kBlk = blas::kTrsmBlock;
+  const std::vector<int> tri_sizes = {1,  kLeaf - 1, kLeaf,    kLeaf + 1,
+                                      31, 33,        kBlk - 1, kBlk,
+                                      kBlk + 1,      257};
+  // Right-hand-side counts straddling the substitution/inverse threshold.
+  const std::vector<int> rhs_sizes = {1, 31, 64};
+  std::uint64_t seed = 50000;
+  for (Side side : {Side::Left, Side::Right})
+    for (UpLo uplo : {UpLo::Lower, UpLo::Upper})
+      for (Trans trans : {Trans::No, Trans::Yes})
+        for (Diag diag : {Diag::Unit, Diag::NonUnit})
+          for (int d : tri_sizes)
+            for (int nrhs : rhs_sizes) {
+              const int m = side == Side::Left ? d : nrhs;
+              const int n = side == Side::Left ? nrhs : d;
+              const double alpha = (d + nrhs) % 2 ? 1.0 : -0.5;
+              const Matrix t0 = Matrix::random(d, d, ++seed);
+              Matrix t = t0;
+              for (int j = 0; j < d; ++j)
+                for (int i = 0; i < d; ++i) t(i, j) = t0(i, j) * 0.5 / d;
+              for (int i = 0; i < d; ++i) t(i, i) = 3.0 + i % 5;
+              const Matrix b0 = Matrix::random(m, n, ++seed);
+              Matrix x = b0;
+              blas::trsm(side, uplo, trans, diag, m, n, alpha, t.data(),
+                         t.ld(), x.data(), x.ld());
+              Matrix want = b0;
+              ref_trsm(side, uplo, trans, diag, m, n, alpha, t.data(),
+                       t.ld(), want.data(), want.ld());
+              double diff = 0.0, xmax = 0.0;
+              for (int j = 0; j < n; ++j)
+                for (int i = 0; i < m; ++i) {
+                  diff = std::max(diff, std::abs(x(i, j) - want(i, j)));
+                  xmax = std::max(xmax, std::abs(want(i, j)));
+                }
+              ASSERT_LE(diff, 1e-11 * d * (1.0 + xmax))
+                  << "side=" << (side == Side::Right) << " uplo="
+                  << (uplo == UpLo::Upper) << " trans="
+                  << (trans == Trans::Yes) << " diag="
+                  << (diag == Diag::NonUnit) << " d=" << d << " nrhs="
+                  << nrhs << " kernel=" << blas::active_kernel().name;
+            }
 }
 
 INSTANTIATE_TEST_SUITE_P(Dispatched, KernelConformance,
                          ::testing::ValuesIn(blas::available_kernels()),
-                         kernel_case_name);
+                         test::kernel_param_name);
 
 TEST(KernelDispatch, TableAndSelection) {
   const std::vector<std::string> names = blas::available_kernels();

@@ -1,13 +1,33 @@
 // test_util.h — shared helpers for the test suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <cmath>
 #include <random>
+#include <string>
 #include <vector>
 
+#include "src/blas/microkernel.h"
 #include "src/layout/matrix.h"
 
 namespace calu::test {
+
+/// Fixture base for per-dispatch-variant sweeps: instantiate with
+/// ::testing::ValuesIn(blas::available_kernels()) and kernel_param_name;
+/// each case runs under the named kernel and restores auto-selection.
+class KernelVariantTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(blas::select_kernel(GetParam().c_str()));
+  }
+  void TearDown() override { blas::select_kernel(nullptr); }
+};
+
+inline std::string kernel_param_name(
+    const ::testing::TestParamInfo<std::string>& info) {
+  return info.param;
+}
 
 /// Naive reference GEMM: C = alpha*op(A)*op(B) + beta*C, used to validate
 /// the blocked kernel.
