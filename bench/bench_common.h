@@ -29,6 +29,18 @@ inline int env_int(const char* name, int def) {
 inline bool full_scale() { return env_int("CALU_BENCH_FULL", 0) != 0; }
 inline int reps() { return std::max(1, env_int("CALU_BENCH_REPS", 2)); }
 
+/// Value of a `--engine=NAME` argument ("" when absent).  The profile and
+/// d-ratio sweep drivers accept it so the same figure can be reproduced
+/// under any registry executor (hybrid / locality-tags / work-stealing /
+/// priority-lookahead / user-registered) and compared.
+inline std::string engine_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--engine=", 0) == 0) return a.substr(9);
+  }
+  return {};
+}
+
 inline int numa_threads() {
   const int hw = sched::ThreadTeam::hardware_threads();
   return std::min(hw, env_int("CALU_BENCH_THREADS", hw));

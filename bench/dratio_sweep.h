@@ -7,13 +7,19 @@
 
 namespace calu::bench {
 
+/// `engine` "" keeps the schedule→engine mapping; any registry name
+/// (e.g. "priority-lookahead") reruns the identical sweep under that
+/// executor so the paper's d-ratio curves can be compared across all
+/// engines.
 inline void dratio_sweep(const char* fig, layout::Layout lay, int threads,
                          const std::vector<int>& ns,
-                         const char* paper_shape) {
+                         const char* paper_shape,
+                         const std::string& engine = "") {
   print_banner(fig, "CALU static/dynamic scheduling, varying dynamic %",
                paper_shape);
   std::printf("# layout=%s threads=%d b per n: default_b(n)\n",
               layout::layout_name(lay), threads);
+  if (!engine.empty()) std::printf("# engine=%s (all rows)\n", engine.c_str());
   std::printf("%-8s %-10s %-12s %-10s %-12s\n", "n", "schedule", "dynamic%",
               "Gflop/s", "seconds");
   sched::ThreadTeam team(threads, true);
@@ -25,6 +31,7 @@ inline void dratio_sweep(const char* fig, layout::Layout lay, int threads,
       opt.b = default_b(n);
       opt.layout = lay;
       opt.dratio = d;
+      opt.engine = engine;
       opt.schedule = d == 0.0   ? core::Schedule::Static
                      : d == 1.0 ? core::Schedule::Dynamic
                                 : core::Schedule::Hybrid;

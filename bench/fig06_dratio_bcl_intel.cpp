@@ -2,11 +2,12 @@
 // machine; matrix 5000x5000, block cyclic layout, dynamic % from 10 to 75.
 #include "bench/dratio_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   dratio_sweep("Figure 6", calu::layout::Layout::BlockCyclic,
                intel_threads(), sizes({3072}, {5000}),
                "hybrid (10% dynamic) ~8.2% faster than static, ~1.4% faster "
-               "than dynamic; static is the least efficient on this class");
+               "than dynamic; static is the least efficient on this class",
+               engine_flag(argc, argv));
   return 0;
 }

@@ -2,11 +2,12 @@
 // (NUMA) machine; block cyclic layout, size sweep, dynamic % 10..75.
 #include "bench/dratio_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   dratio_sweep("Figure 7", calu::layout::Layout::BlockCyclic,
                numa_threads(), sizes({1024, 2048, 4096}, {2000, 5000, 10000}),
                "best performance from static + small dynamic fraction "
-               "(10-20%); fully dynamic degrades on the NUMA class");
+               "(10-20%); fully dynamic degrades on the NUMA class",
+               engine_flag(argc, argv));
   return 0;
 }

@@ -1,11 +1,12 @@
 // Figure 9: like Figure 6 but with the two-level block layout (2l-BL).
 #include "bench/dratio_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   dratio_sweep("Figure 9", calu::layout::Layout::TwoLevelBlock,
                intel_threads(), sizes({1024, 2048, 3072}, {4000, 5000}),
                "same behavior as BCL: static least efficient; best at 10% "
-               "dynamic (10.6% over static, 1.7% over dynamic at n=4000)");
+               "dynamic (10.6% over static, 1.7% over dynamic at n=4000)",
+               engine_flag(argc, argv));
   return 0;
 }

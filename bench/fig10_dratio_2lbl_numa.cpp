@@ -3,11 +3,12 @@
 // GEMM, no data reuse, dequeue overhead grows with the tile count).
 #include "bench/dratio_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   dratio_sweep("Figure 10", calu::layout::Layout::TwoLevelBlock,
                numa_threads(), sizes({1024, 2048, 4096}, {2000, 5000, 10000}),
                "CALU dynamic is the least efficient; increasing the dynamic "
-               "% does not improve performance (up to 64.9% gap at 48 cores)");
+               "% does not improve performance (up to 64.9% gap at 48 cores)",
+               engine_flag(argc, argv));
   return 0;
 }

@@ -9,7 +9,7 @@ namespace calu::bench {
 
 inline void profile_run(const char* fig, core::Schedule sched, double dratio,
                         layout::Layout lay, const char* svg_name,
-                        const char* paper_shape) {
+                        const char* paper_shape, const char* engine = "") {
   print_banner(fig, "execution timeline profile", paper_shape);
   const int n = full_scale() ? 5000 : 2500;
   const int b = 100;  // the paper's profile setup: n=2500, b=100, 16 cores
@@ -28,6 +28,7 @@ inline void profile_run(const char* fig, core::Schedule sched, double dratio,
   opt.layout = lay;
   opt.threads = threads;
   opt.recorder = &rec;
+  opt.engine = engine;  // "" keeps the schedule→engine mapping
   layout::PackedMatrix p =
       layout::PackedMatrix::pack(a0, lay, b, opt.resolved_grid());
   core::Factorization f = core::getrf(p, opt, &team);

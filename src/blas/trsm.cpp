@@ -58,15 +58,36 @@ inline double diag_val(const double* t, int ldt, Diag diag, int i) {
 // aligned scratch (at most kNB^2 doubles = 32 KiB, L1-resident) so the
 // repeated sweeps run on dense lines.  A copy preserves values exactly, so
 // results stay bit-identical to solving in place.
+//
+// Only the referenced triangle (diagonal included) is copied: the BLAS
+// trsm contract promises the opposite triangle is never read, and a task
+// DAG may legally be *writing* it concurrently — incpiv's TSTRF(k,I)
+// updates Ukk in tile (k,k) while GESSM(k,J) solves against Lkk of the
+// same tile.  A full-column memcpy here is a data race (caught by the
+// TSan lane); the unreferenced half of the scratch is simply left stale,
+// since every solve below indexes its own triangle only.
 thread_local util::AlignedBuffer tl_diag;
 
-const double* pack_diag(const double* t, int ldt, int nb) {
+const double* pack_diag(const double* t, int ldt, int nb, UpLo uplo,
+                        Diag diag) {
   tl_diag.reserve(static_cast<std::size_t>(kNB) * kNB);
   double* buf = tl_diag.data();
-  for (int j = 0; j < nb; ++j)
-    std::memcpy(buf + static_cast<std::size_t>(j) * nb,
-                t + static_cast<std::size_t>(j) * ldt,
-                sizeof(double) * nb);
+  // A Unit solve never reads the diagonal either (diag_val returns 1.0
+  // without touching memory) — and incpiv's TSTRF rewrites exactly that
+  // diagonal concurrently with GESSM's unit-lower solve, so the copy
+  // must skip it to stay race-free.
+  const int d = diag == Diag::Unit ? 1 : 0;
+  if (uplo == UpLo::Lower) {
+    for (int j = 0; j + d < nb; ++j)
+      std::memcpy(buf + static_cast<std::size_t>(j) * nb + j + d,
+                  t + static_cast<std::size_t>(j) * ldt + j + d,
+                  sizeof(double) * (nb - j - d));
+  } else {
+    for (int j = d; j < nb; ++j)
+      std::memcpy(buf + static_cast<std::size_t>(j) * nb,
+                  t + static_cast<std::size_t>(j) * ldt,
+                  sizeof(double) * (j + 1 - d));
+  }
   return buf;
 }
 
@@ -308,7 +329,8 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       // Unblocked solve against the transposed diagonal block (packed
       // contiguous; it is swept once per RHS column).
       const double* dk =
-          pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt, jb);
+          pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt, jb,
+                    UpLo::Lower, diag);
       for (int jj = j; jj < j + jb; ++jj) {
         double* bj = b + static_cast<std::size_t>(jj) * ldb;
         for (int p = j; p < jj; ++p) {
@@ -338,7 +360,8 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       const int ib = std::min(kNB, i);
       const int i0 = i - ib;
       const double* dk =
-          pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt, ib);
+          pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt, ib,
+                    UpLo::Lower, diag);
       for (int j = 0; j < n; ++j) {
         double* bj = b + static_cast<std::size_t>(j) * ldb;
         for (int r = i - 1; r >= i0; --r) {
@@ -393,7 +416,9 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       const int ib = std::min(kNB, m - i);
       left_lower_unblocked(
           diag, ib, n,
-          pack_diag(t + i + static_cast<std::size_t>(i) * ldt, ldt, ib), ib,
+          pack_diag(t + i + static_cast<std::size_t>(i) * ldt, ldt, ib,
+                    UpLo::Lower, diag),
+          ib,
           b + i, ldb);
       if (i + ib < m)
         gemm(Trans::No, Trans::No, m - i - ib, n, ib, -1.0,
@@ -406,7 +431,9 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       const int i0 = i - ib;
       left_upper_unblocked(
           diag, ib, n,
-          pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt, ib), ib,
+          pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt, ib,
+                    UpLo::Upper, diag),
+          ib,
           b + i0, ldb);
       if (i0 > 0)
         gemm(Trans::No, Trans::No, i0, n, ib, -1.0,
@@ -419,7 +446,9 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       const int jb = std::min(kNB, n - j);
       right_upper_unblocked(
           diag, m, jb,
-          pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt, jb), jb,
+          pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt, jb,
+                    UpLo::Upper, diag),
+          jb,
           b + static_cast<std::size_t>(j) * ldb, ldb);
       if (j + jb < n)
         gemm(Trans::No, Trans::No, m, n - j - jb, jb, -1.0,
@@ -433,7 +462,9 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       const int j0 = j - jb;
       right_lower_unblocked(
           diag, m, jb,
-          pack_diag(t + j0 + static_cast<std::size_t>(j0) * ldt, ldt, jb), jb,
+          pack_diag(t + j0 + static_cast<std::size_t>(j0) * ldt, ldt, jb,
+                    UpLo::Lower, diag),
+          jb,
           b + static_cast<std::size_t>(j0) * ldb, ldb);
       if (j0 > 0)
         gemm(Trans::No, Trans::No, m, j0, jb, -1.0,

@@ -328,6 +328,20 @@ std::string Options::resolved_engine() const {
   return "hybrid";
 }
 
+sched::RunHooks run_hooks_from(const Options& opt, int team_size,
+                               std::unique_ptr<noise::Injector>& injector) {
+  sched::RunHooks hooks;
+  hooks.recorder = opt.recorder;
+  hooks.locality_tags = opt.locality_tags;
+  hooks.ws_seed = opt.ws_seed;
+  hooks.lookahead_depth = opt.lookahead_depth;
+  if (opt.noise.enabled()) {
+    injector = std::make_unique<noise::Injector>(opt.noise, team_size);
+    hooks.injector = injector.get();
+  }
+  return hooks;
+}
+
 Factorization getrf(layout::PackedMatrix& a, const Options& opt,
                     sched::ThreadTeam* team) {
   const layout::Tiling& tl = a.tiling();
@@ -350,15 +364,8 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   }
 
   Runtime rt(a, plan);
-  sched::RunHooks hooks;
-  hooks.recorder = opt.recorder;
-  hooks.locality_tags = opt.locality_tags;
-  hooks.ws_seed = opt.ws_seed;
   std::unique_ptr<noise::Injector> injector;
-  if (opt.noise.enabled()) {
-    injector = std::make_unique<noise::Injector>(opt.noise, team->size());
-    hooks.injector = injector.get();
-  }
+  sched::RunHooks hooks = run_hooks_from(opt, team->size(), injector);
 
   auto exec = [&rt](int id, int tid) { rt.exec(id, tid); };
   std::unique_ptr<sched::Engine> engine =

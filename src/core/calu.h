@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,9 +58,14 @@ struct Options {
   noise::NoiseSpec noise{};             // optional transient-load injection
   std::uint64_t ws_seed = 7;            // work-stealing victim RNG seed
   /// Executor registry name ("hybrid", "work-stealing", "locality-tags",
-  /// or any engine registered via sched::register_engine).  Empty = derive
-  /// from `schedule` and `locality_tags`; see resolved_engine().
+  /// "priority-lookahead", or any engine registered via
+  /// sched::register_engine).  Empty = derive from `schedule` and
+  /// `locality_tags`; see resolved_engine().
   std::string engine;
+  /// "priority-lookahead" window: panel-column tasks within this many
+  /// panels of the completion frontier are promoted to the engine's
+  /// shared urgent queue.  Other engines ignore it.
+  int lookahead_depth = 4;
 
   int resolved_threads() const;
   layout::Grid resolved_grid() const;
@@ -102,5 +108,13 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
 /// Convenience: packs `a` into opt.layout, factors, and unpacks the [L\U]
 /// factors back into `a` (column-major, LAPACK-style).
 Factorization getrf(layout::Matrix& a, const Options& opt);
+
+/// Engine RunHooks from Options — the single source for the Options →
+/// hooks wiring every factorization driver (CALU, Cholesky, incpiv)
+/// shares, so a new hook field cannot be forgotten in one of them.  When
+/// noise is enabled the injector is allocated into `injector`; the caller
+/// keeps it alive through the run and reads its delta stats afterwards.
+sched::RunHooks run_hooks_from(const Options& opt, int team_size,
+                               std::unique_ptr<noise::Injector>& injector);
 
 }  // namespace calu::core

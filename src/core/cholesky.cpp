@@ -172,15 +172,8 @@ Factorization potrf(layout::PackedMatrix& a, const Options& opt,
     }
   };
 
-  sched::RunHooks hooks;
-  hooks.recorder = opt.recorder;
-  hooks.locality_tags = opt.locality_tags;
-  hooks.ws_seed = opt.ws_seed;
   std::unique_ptr<noise::Injector> injector;
-  if (opt.noise.enabled()) {
-    injector = std::make_unique<noise::Injector>(opt.noise, team->size());
-    hooks.injector = injector.get();
-  }
+  sched::RunHooks hooks = run_hooks_from(opt, team->size(), injector);
 
   std::unique_ptr<sched::Engine> engine =
       sched::make_engine_or_default(opt.resolved_engine());

@@ -25,8 +25,8 @@ std::uint64_t prio(int j, int k, int rank) {
 
 }  // namespace
 
-IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
-                          trace::Recorder* recorder) {
+IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
+                          sched::ThreadTeam& team) {
   const layout::Tiling& tl = a.tiling();
   assert(tl.m == tl.n && "incremental pivoting implemented for square A");
   const int nt = tl.mb();
@@ -207,11 +207,13 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
     }
   };
 
-  sched::RunHooks hooks;
-  hooks.recorder = recorder;
-  // Incremental pivoting's DAG is all-dynamic; the hybrid engine's global
-  // queue serves it (its static section is simply empty).
-  std::unique_ptr<sched::Engine> engine = sched::make_engine("hybrid");
+  std::unique_ptr<noise::Injector> injector;
+  sched::RunHooks hooks = run_hooks_from(opt, team.size(), injector);
+  // Incremental pivoting's DAG is all-dynamic; under the default hybrid
+  // engine the global queue serves it (its static section is simply
+  // empty), and any registered engine can be swapped in via Options.
+  std::unique_ptr<sched::Engine> engine =
+      sched::make_engine_or_default(opt.resolved_engine());
   const auto t0 = std::chrono::steady_clock::now();
   f.stats.engine = engine->run(team, g, exec, hooks);
   f.stats.factor_seconds =
@@ -219,7 +221,18 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
           .count();
   f.stats.gflops =
       model::gflops(model::lu_flops(tl.m, tl.n), f.stats.factor_seconds);
+  if (injector) {
+    f.stats.noise_delta_max = injector->delta_max();
+    f.stats.noise_delta_avg = injector->delta_avg();
+  }
   return f;
+}
+
+IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
+                          trace::Recorder* recorder) {
+  Options opt;
+  opt.recorder = recorder;
+  return getrf_incpiv(a, opt, team);
 }
 
 void IncpivFactor::solve(layout::Matrix& rhs) const {

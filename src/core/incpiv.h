@@ -36,8 +36,8 @@ class IncpivFactor {
 
  private:
   friend IncpivFactor getrf_incpiv(layout::PackedMatrix& a,
-                                   sched::ThreadTeam& team,
-                                   trace::Recorder* recorder);
+                                   const Options& opt,
+                                   sched::ThreadTeam& team);
   const layout::PackedMatrix* a_ = nullptr;
   int npanels_ = 0;
   std::vector<std::vector<int>> tile_piv_;   // per k: GETRF pivots (local)
@@ -48,7 +48,13 @@ class IncpivFactor {
 
 /// Factor the packed matrix in place with dynamically scheduled incremental
 /// pivoting (square matrices).  The PackedMatrix stays owned by the caller
-/// and must outlive the returned factor.
+/// and must outlive the returned factor.  Honors Options::engine /
+/// lookahead_depth / recorder / noise / ws_seed (the DAG is all-dynamic,
+/// so schedule/dratio have no effect beyond engine resolution).
+IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
+                          sched::ThreadTeam& team);
+
+/// Back-compat convenience: default Options (hybrid engine) + recorder.
 IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,
                           trace::Recorder* recorder = nullptr);
 

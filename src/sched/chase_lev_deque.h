@@ -1,12 +1,23 @@
 // chase_lev_deque.h — lock-free work-stealing deque (Chase & Lev, SPAA'05),
 // with the C11 memory orderings of Lê, Pop, Cohen & Zappa Nardelli
-// (PPoPP'13, "Correct and Efficient Work-Stealing for Weak Memory Models").
+// (PPoPP'13, "Correct and Efficient Work-Stealing for Weak Memory Models")
+// in their fence-free form: the standalone atomic_thread_fences of the
+// paper's listing are folded into the adjacent operations (release store
+// of bottom_ in push, seq_cst store/load pair in pop, seq_cst loads in
+// steal).  The orderings are equivalent — a release fence followed by a
+// relaxed store publishes exactly like a release store, and the seq_cst
+// fence between bottom/top accesses is subsumed by putting those accesses
+// in the seq_cst total order — and identical in cost on x86 (the pop-path
+// XCHG replaces the old MFENCE).  The operational win: ThreadSanitizer
+// does not model standalone fences, so the fence form made every payload
+// handoff through the deque a TSan false positive; this form is provable
+// by TSan, which is what lets the CI TSan lane run the executor suites.
 //
 // The owner thread pushes and pops at the bottom without synchronization in
 // the common case; thieves CAS the top.  This removes the mutex the old
 // StealDeque took on every operation — the paper's "dequeue overhead"
-// becomes a single fence on the owner's fast path, which is what lets the
-// dynamic section scale past a handful of threads.
+// becomes a single ordered store on the owner's fast path, which is what
+// lets the dynamic section scale past a handful of threads.
 //
 // The ring buffer grows geometrically; retired buffers are kept alive until
 // the deque is destroyed so a thief holding a stale buffer pointer can
@@ -44,17 +55,20 @@ class ChaseLevDeque {
     Ring* a = buffer_.load(std::memory_order_relaxed);
     if (b - t > a->capacity - 1) a = grow(a, t, b);
     a->put(b, task);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    // Release store publishes the slot (and everything the pushing task
+    // wrote before enqueueing) to any thief that acquires bottom_.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only: pop the most recently pushed task (LIFO).
   bool pop_bottom(int& task) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Ring* a = buffer_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    // The store/load pair is seq_cst so the bottom reservation and the
+    // top read cannot reorder against a concurrent steal's (top, bottom)
+    // reads — the arbitration the last-element CAS below relies on.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
     bool got = false;
     if (t <= b) {
       task = a->get(b);
@@ -75,9 +89,8 @@ class ChaseLevDeque {
 
   /// Any thread: steal the oldest task (FIFO, the classic Cilk discipline).
   bool steal_top(int& task) {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return false;
     Ring* a = buffer_.load(std::memory_order_acquire);
     const int candidate = a->get(t);

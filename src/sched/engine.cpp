@@ -15,6 +15,7 @@ EngineStats& EngineStats::merge(const EngineStats& other) {
   dynamic_pops += other.dynamic_pops;
   steals += other.steals;
   steal_attempts += other.steal_attempts;
+  promotions += other.promotions;
   elapsed = std::max(elapsed, other.elapsed);
   return *this;
 }
@@ -24,12 +25,13 @@ std::string EngineStats::report() const {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "tasks=%llu static=%llu dynamic=%llu steals=%llu/%llu "
-                "elapsed=%.4fs",
+                "promoted=%llu elapsed=%.4fs",
                 static_cast<unsigned long long>(total),
                 static_cast<unsigned long long>(static_pops),
                 static_cast<unsigned long long>(dynamic_pops),
                 static_cast<unsigned long long>(steals),
-                static_cast<unsigned long long>(steal_attempts), elapsed);
+                static_cast<unsigned long long>(steal_attempts),
+                static_cast<unsigned long long>(promotions), elapsed);
   return buf;
 }
 

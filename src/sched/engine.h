@@ -18,6 +18,14 @@
 //   "work-stealing" — the related-work baseline (Section 8): ready tasks
 //                     go to the spawning thread's lock-free Chase-Lev
 //                     deque; idle threads steal FIFO from random victims.
+//   "priority-lookahead" — dynamic look-ahead (à la arXiv:1804.07017):
+//                     ready tasks go to per-thread mutable priority
+//                     queues, but a panel-column task (P / panel L / pL)
+//                     whose step falls inside a configurable window ahead
+//                     of the completion frontier is *promoted* to a shared
+//                     urgent queue every thread serves before anything
+//                     local — the static 2-queue look-ahead generalized
+//                     into a dynamic policy.
 //
 // Engines are obtained by name from the registry (engine_registry.h) so
 // drivers, benches, and examples never hard-wire an executor; new policies
@@ -48,6 +56,10 @@ struct RunHooks {
   /// "locality-tags" engine from the registry sets it for you).
   bool locality_tags = false;
   std::uint64_t ws_seed = 7;  // work-stealing victim RNG seed
+  /// "priority-lookahead" window: panel-column tasks whose step is within
+  /// `lookahead_depth` panels of the completion frontier are promoted to
+  /// the shared urgent queue.  Other engines ignore it.
+  int lookahead_depth = 4;
 };
 
 /// Merged execution counters.  Engines accumulate per-thread into
@@ -58,6 +70,9 @@ struct EngineStats {
   std::uint64_t dynamic_pops = 0;  // tasks served from the global queue
   std::uint64_t steals = 0;        // successful steals (work stealing only)
   std::uint64_t steal_attempts = 0;
+  /// Panel-column tasks promoted past the local queues into the shared
+  /// urgent queue ("priority-lookahead" only; 0 elsewhere).
+  std::uint64_t promotions = 0;
   double elapsed = 0.0;  // seconds inside the engine (max over merges)
 
   /// Accumulates counters; `elapsed` takes the max (merging reps or
@@ -75,6 +90,7 @@ struct alignas(64) PerThreadStats {
   std::uint64_t dynamic_pops = 0;
   std::uint64_t steals = 0;
   std::uint64_t steal_attempts = 0;
+  std::uint64_t promotions = 0;
 
   EngineStats to_stats() const {
     EngineStats st;
@@ -82,6 +98,7 @@ struct alignas(64) PerThreadStats {
     st.dynamic_pops = dynamic_pops;
     st.steals = steals;
     st.steal_attempts = steal_attempts;
+    st.promotions = promotions;
     return st;
   }
 };

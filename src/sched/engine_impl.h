@@ -30,8 +30,11 @@ class RunContext {
 
   /// Runs task `id` with noise/trace hooks applied, decrements successor
   /// dependency counts, and hands newly ready tasks to `enqueue(succ_id)`.
+  /// `promoted` marks a task served from a look-ahead urgent queue so the
+  /// timeline can show promotion events.
   template <class EnqueueFn>
-  void run_task(int id, int tid, bool dynamic, const EnqueueFn& enqueue) {
+  void run_task(int id, int tid, bool dynamic, const EnqueueFn& enqueue,
+                bool promoted = false) {
     if (hooks_.injector) hooks_.injector->maybe_inject(tid);
     trace::Recorder* rec = hooks_.recorder;
     trace::Event ev;
@@ -42,6 +45,7 @@ class RunContext {
       ev.i = t.i;
       ev.j = t.j;
       ev.dynamic = dynamic;
+      ev.promoted = promoted;
       ev.t0 = rec->now();
     }
     exec_(id, tid);

@@ -1,0 +1,185 @@
+// engine_priority.cpp — dynamic priority look-ahead executor, registered
+// as "priority-lookahead" (the ROADMAP's reserved executor slot, à la
+// arXiv:1804.07017).
+//
+// The static look-ahead of task_queue.h is an artifact of the priority
+// key: panel-column tasks sort before trailing updates *within one
+// thread's queue*, so a panel can only be advanced by the thread that
+// happens to hold it.  This engine generalizes that into a dynamic
+// policy:
+//
+//   * Every ready task goes to a per-thread mutable priority queue — the
+//     thread that produced it (data hot in its cache), or its static
+//     owner when the graph assigns one.
+//   * When a panel-column task (P / panel L / pL — the critical path)
+//     becomes ready and its step lies within `RunHooks::lookahead_depth`
+//     panels of the completion frontier, it is *promoted*: pushed to a
+//     shared urgent queue that every thread polls before its own work,
+//     so the next panels are offered to idle threads ahead of anyone's
+//     trailing updates.
+//   * Idle threads with an empty local queue scan the other threads'
+//     queues (mutable priority queues support best-priority stealing),
+//     so no ready task can be stranded behind a busy owner.
+//
+// The completion frontier is tracked with per-step remaining-task
+// counters: promotion stays within a bounded window of the oldest
+// incomplete step, which is what keeps the policy a *look-ahead* (bounded
+// live panels, bounded pack-arena footprint) rather than an eager
+// depth-first rush.
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sched/engine.h"
+#include "src/sched/engine_impl.h"
+#include "src/sched/task_queue.h"
+
+namespace calu::sched {
+namespace {
+
+/// True for tasks on a panel column (the factorization's critical path):
+/// panel preprocessing (P), the panel's L tiles, and the pL operand
+/// packs.  Generic tasks (step < 0) and off-panel tasks never promote.
+bool panel_column_task(const Task& t) {
+  if (t.step < 0) return false;
+  if (t.kind == trace::Kind::P) return true;
+  if (t.kind != trace::Kind::L && t.kind != trace::Kind::PackL) return false;
+  return t.j < 0 || t.j == t.step;
+}
+
+class PriorityLookaheadEngine final : public Engine {
+ public:
+  explicit PriorityLookaheadEngine(std::string name)
+      : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+
+  EngineStats run(ThreadTeam& team, const TaskGraph& graph,
+                  const ExecFn& exec, const RunHooks& hooks) override {
+    assert(graph.finalized());
+    const int p = team.size();
+    const int n = graph.num_tasks();
+    const int depth = std::max(1, hooks.lookahead_depth);
+
+    // Per-step remaining-task counters drive the completion frontier (the
+    // oldest step with unfinished tasks); promotion is limited to steps in
+    // [frontier, frontier + depth).
+    int nsteps = 0;
+    for (int t = 0; t < n; ++t)
+      nsteps = std::max(nsteps, graph.task(t).step + 1);
+    std::vector<int> per_step(nsteps, 0);
+    for (int t = 0; t < n; ++t)
+      if (graph.task(t).step >= 0) ++per_step[graph.task(t).step];
+    std::vector<std::atomic<int>> step_left(nsteps);
+    for (int k = 0; k < nsteps; ++k)
+      step_left[k].store(per_step[k], std::memory_order_relaxed);
+    std::atomic<int> frontier{0};
+
+    auto advance_frontier = [&] {
+      int f = frontier.load(std::memory_order_acquire);
+      while (f < nsteps && step_left[f].load(std::memory_order_acquire) == 0)
+        if (frontier.compare_exchange_weak(f, f + 1,
+                                           std::memory_order_acq_rel))
+          ++f;
+      // On CAS failure `f` reloads the current frontier; the loop re-checks.
+    };
+
+    std::vector<PriorityTaskQueue> own(p);
+    PriorityTaskQueue urgent;  // promoted panel-column tasks, shared
+    std::vector<PerThreadStats> per(p);
+
+    // `tid` is the enqueuing thread: un-owned, un-promoted tasks stay on
+    // the queue of the thread whose cache just produced their inputs.
+    auto enqueue_as = [&](int id, int tid) {
+      const Task& t = graph.task(id);
+      if (panel_column_task(t) &&
+          t.step < frontier.load(std::memory_order_relaxed) + depth) {
+        urgent.push(t.priority, id);
+        ++per[tid].promotions;
+      } else if (t.owner >= 0) {
+        own[t.owner % p].push(t.priority, id);
+      } else {
+        own[tid].push(t.priority, id);
+      }
+    };
+
+    // Completion accounting rides the task body so successors see an
+    // already-advanced frontier when they are classified.  Named ExecFn:
+    // RunContext keeps a reference, so a temporary would dangle.
+    const ExecFn body = [&](int id, int tid) {
+      exec(id, tid);
+      const Task& t = graph.task(id);
+      if (t.step >= 0 &&
+          step_left[t.step].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        advance_frontier();
+    };
+
+    detail::RunContext ctx(graph, body, hooks);
+    {
+      int rr = 0;
+      for (int t = 0; t < n; ++t)
+        if (graph.initial_deps(t) == 0) enqueue_as(t, rr++ % p);
+    }
+
+    trace::Recorder* rec = hooks.recorder;
+    if (rec) rec->start(p);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    team.run([&](int tid) {
+      PerThreadStats& me = per[tid];
+      auto enqueue = [&](int id) { enqueue_as(id, tid); };
+      int backoff = 0;
+      while (!ctx.done()) {
+        int id = -1;
+        bool promoted = false;
+        bool stolen = false;
+        bool got = urgent.try_pop(id);  // look-ahead jumps every queue
+        promoted = got;
+        if (!got) got = own[tid].try_pop(id);
+        if (!got && p > 1) {
+          ++me.steal_attempts;
+          for (int i = 1; i < p && !got; ++i) {
+            got = own[(tid + i) % p].try_pop(id);
+            stolen = got;
+          }
+        }
+        if (!got) {
+          if (++backoff > 64) {
+            std::this_thread::yield();
+            backoff = 0;
+          }
+          continue;
+        }
+        backoff = 0;
+        if (promoted)
+          ++me.dynamic_pops;  // served from the shared queue
+        else if (stolen)
+          ++me.steals;
+        else
+          ++me.static_pops;
+        ctx.run_task(id, tid, promoted || stolen, enqueue, promoted);
+      }
+    });
+
+    if (rec) rec->stop();
+    return detail::merge_thread_stats(per, detail::seconds_since(t0));
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Engine> make_priority_engine(std::string name) {
+  return std::make_unique<PriorityLookaheadEngine>(std::move(name));
+}
+
+}  // namespace detail
+}  // namespace calu::sched

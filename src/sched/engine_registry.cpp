@@ -15,6 +15,7 @@ namespace detail {
 std::unique_ptr<Engine> make_hybrid_engine(std::string name,
                                            bool locality_tags);
 std::unique_ptr<Engine> make_work_stealing_engine(std::string name);
+std::unique_ptr<Engine> make_priority_engine(std::string name);
 }  // namespace detail
 
 namespace {
@@ -35,6 +36,9 @@ struct Registry {
     factories.emplace("work-stealing", [] {
       return detail::make_work_stealing_engine("work-stealing");
     });
+    factories.emplace("priority-lookahead", [] {
+      return detail::make_priority_engine("priority-lookahead");
+    });
   }
 };
 
@@ -49,9 +53,9 @@ bool register_engine(std::string name, EngineFactory factory) {
   Registry& r = registry();
   std::lock_guard lk(r.mu);
   auto [it, inserted] =
-      r.factories.insert_or_assign(std::move(name), std::move(factory));
+      r.factories.emplace(std::move(name), std::move(factory));
   (void)it;
-  return !inserted;
+  return inserted;
 }
 
 std::unique_ptr<Engine> make_engine(std::string_view name) {

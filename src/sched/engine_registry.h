@@ -1,11 +1,11 @@
 // engine_registry.h — string-keyed factory registry for executors.
 //
 // The registry is the seam every future executor plugs into: drivers ask
-// for an engine by name ("hybrid", "work-stealing", "locality-tags") and
-// never link against a concrete executor.  Registration is explicit (the
-// built-ins are registered on first use), so a static-library build cannot
-// silently drop an engine TU, and downstream code can add engines at
-// runtime:
+// for an engine by name ("hybrid", "work-stealing", "locality-tags",
+// "priority-lookahead") and never link against a concrete executor.
+// Registration is explicit (the built-ins are registered on first use), so
+// a static-library build cannot silently drop an engine TU, and downstream
+// code can add engines at runtime:
 //
 //   sched::register_engine("my-numa-ws",
 //                          [] { return std::make_unique<...>(); });
@@ -25,8 +25,9 @@ namespace calu::sched {
 
 using EngineFactory = std::function<std::unique_ptr<Engine>()>;
 
-/// Registers (or replaces) a factory under `name`.  Returns true if a
-/// previous registration was replaced.  Thread-safe.
+/// Registers a factory under `name`.  Returns true on success; a name
+/// that is already registered (built-in or user) is REJECTED and false is
+/// returned — an executor cannot be silently hijacked.  Thread-safe.
 bool register_engine(std::string name, EngineFactory factory);
 
 /// Builds a fresh engine instance; nullptr when `name` is unknown.

@@ -44,7 +44,13 @@ std::string svg_timeline(const Recorder& rec, int width_px, int lane_px) {
         os << "<rect x='" << x << "' y='" << y << "' width='"
            << (w < 0.3 ? 0.3 : w) << "' height='" << lane_px - 2
            << "' fill='" << kind_color(e.kind) << "'";
-        if (e.dynamic) os << " stroke='black' stroke-width='0.3'";
+        // Promoted look-ahead tasks get a gold outline so panel overlap
+        // is visible at a glance; plain dynamic-queue tasks a thin black
+        // one.
+        if (e.promoted)
+          os << " stroke='#ffbf00' stroke-width='0.8'";
+        else if (e.dynamic)
+          os << " stroke='black' stroke-width='0.3'";
         os << "/>\n";
       }
     }

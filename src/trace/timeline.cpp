@@ -40,7 +40,9 @@ TimelineStats analyze(const Recorder& rec) {
       ts.last_end = std::max(ts.last_end, e.t1);
       ++ts.tasks;
       if (e.dynamic) ++ts.dynamic_tasks;
+      if (e.promoted) ++ts.promoted_tasks;
     }
+    s.total_promoted += ts.promoted_tasks;
     ts.idle = std::max(0.0, s.makespan - ts.busy);
     s.total_busy += ts.busy;
     s.total_idle += ts.idle;
@@ -99,6 +101,12 @@ std::string summarize(const TimelineStats& ts,
                 ts.makespan, ts.total_busy, ts.idle_fraction * 100.0,
                 static_cast<int>(ts.threads.size()));
   std::string out = buf;
+  if (ts.total_promoted > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "look-ahead: %d promoted panel tasks served\n",
+                  ts.total_promoted);
+    out += buf;
+  }
   out += "engine: ";
   out += engine.report();
   out += '\n';

@@ -18,6 +18,7 @@ struct ThreadStats {
   double last_end = 0.0;   // end time of the thread's last task
   int tasks = 0;
   int dynamic_tasks = 0;   // tasks pulled from the global queue
+  int promoted_tasks = 0;  // look-ahead promotions served by this thread
 };
 
 struct TimelineStats {
@@ -25,6 +26,7 @@ struct TimelineStats {
   double total_busy = 0.0;
   double total_idle = 0.0;
   double idle_fraction = 0.0;          // total idle / (p * makespan)
+  int total_promoted = 0;              // promotion events across threads
   std::vector<ThreadStats> threads;
 
   /// Fraction of threads whose *last* task ends at or before

@@ -39,6 +39,9 @@ struct Event {
   double t0 = 0.0;         // seconds since run start
   double t1 = 0.0;
   bool dynamic = false;    // executed from the dynamic (global) queue
+  /// Served from a look-ahead urgent queue ("priority-lookahead" panel
+  /// promotion) — the timeline marks these to show panel overlap.
+  bool promoted = false;
 };
 
 class Recorder {

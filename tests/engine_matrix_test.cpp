@@ -1,0 +1,178 @@
+// engine_matrix_test.cpp — the cross-engine conformance matrix: every
+// registered engine × thread counts {1,2,4,8} × pack_panels on/off ×
+// {CALU, Cholesky, incremental pivoting}, asserted bit-identical to the
+// 1-thread hybrid reference.
+//
+// With four built-in executors (and user engines plugging in through the
+// registry) correctness can no longer be spot-checked per engine: this
+// matrix is the contract a new engine must pass to land.  It holds
+// because the task graph carries every numerical dependency — an engine
+// only chooses *order*, never *operands* — so factors and pivot
+// sequences must come out bit-for-bit equal no matter which policy
+// drained the DAG.  The suite is parameterized over the dispatched
+// kernel variants (test_util.h fixture), so the contract is pinned on
+// the avx512/avx2/generic paths alike.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/blas/microkernel.h"
+#include "src/core/calu.h"
+#include "src/core/cholesky.h"
+#include "src/core/incpiv.h"
+#include "src/layout/matrix.h"
+#include "src/layout/packed.h"
+#include "src/sched/engine_registry.h"
+#include "src/sched/thread_team.h"
+#include "tests/test_util.h"
+
+namespace calu {
+namespace {
+
+using core::Factorization;
+using core::Options;
+using layout::Matrix;
+
+using EngineMatrixTest = test::KernelVariantTest;
+
+const int kThreadCounts[] = {1, 2, 4, 8};
+const bool kPackModes[] = {true, false};
+
+Options matrix_options(const std::string& engine, int threads, bool pack) {
+  Options o;
+  o.b = 16;
+  o.threads = threads;
+  o.pack_panels = pack;
+  o.pin_threads = false;
+  o.engine = engine;
+  // The TSLU tournament shape is a function of the process grid, and the
+  // auto grid follows the thread count — pin it so the matrix isolates
+  // the engine/thread/pack axes and bit-identity across thread counts is
+  // the contract being tested, not a grid coincidence.
+  o.pr = 2;
+  o.pc = 2;
+  return o;
+}
+
+// ------------------------------------------------------------------ CALU ---
+
+TEST_P(EngineMatrixTest, CaluBitIdenticalAcrossEngines) {
+  // Square and tall-skinny (the shape CALU was designed for, with edge
+  // tiles) — both must match the single-thread hybrid reference exactly.
+  const struct {
+    int m, n;
+    std::uint64_t seed;
+  } shapes[] = {{120, 120, 913}, {150, 60, 914}};
+  for (const auto& sh : shapes) {
+    Matrix a_ref = Matrix::random(sh.m, sh.n, sh.seed);
+    Factorization f_ref =
+        core::getrf(a_ref, matrix_options("hybrid", 1, true));
+    for (const std::string& engine : sched::engine_names())
+      for (int t : kThreadCounts)
+        for (bool pack : kPackModes) {
+          SCOPED_TRACE(engine + " threads=" + std::to_string(t) +
+                       " pack=" + std::to_string(pack) + " m=" +
+                       std::to_string(sh.m) + " n=" + std::to_string(sh.n));
+          Matrix a = Matrix::random(sh.m, sh.n, sh.seed);
+          Factorization f = core::getrf(a, matrix_options(engine, t, pack));
+          EXPECT_EQ(f.ipiv, f_ref.ipiv);
+          EXPECT_EQ(test::max_abs_diff(a, a_ref), 0.0);
+        }
+  }
+}
+
+TEST_P(EngineMatrixTest, CaluLookaheadDepthDoesNotChangeResults) {
+  // The look-ahead window is pure scheduling: any depth must reproduce
+  // the reference factorization bit-for-bit.
+  const int n = 120;
+  Matrix a_ref = Matrix::random(n, n, 915);
+  Factorization f_ref = core::getrf(a_ref, matrix_options("hybrid", 1, true));
+  for (int depth : {1, 2, 8, 64}) {
+    SCOPED_TRACE("lookahead_depth=" + std::to_string(depth));
+    Options o = matrix_options("priority-lookahead", 4, true);
+    o.lookahead_depth = depth;
+    Matrix a = Matrix::random(n, n, 915);
+    Factorization f = core::getrf(a, o);
+    EXPECT_EQ(f.ipiv, f_ref.ipiv);
+    EXPECT_EQ(test::max_abs_diff(a, a_ref), 0.0);
+  }
+}
+
+// -------------------------------------------------------------- Cholesky ---
+
+TEST_P(EngineMatrixTest, CholeskyBitIdenticalAcrossEngines) {
+  const int n = 112;
+  Matrix a0 = core::spd_matrix(n, 916);
+  Matrix l_ref = a0;
+  core::potrf(l_ref, matrix_options("hybrid", 1, true));
+  for (const std::string& engine : sched::engine_names())
+    for (int t : kThreadCounts)
+      for (bool pack : kPackModes) {
+        SCOPED_TRACE(engine + " threads=" + std::to_string(t) +
+                     " pack=" + std::to_string(pack));
+        Matrix l = a0;
+        core::potrf(l, matrix_options(engine, t, pack));
+        EXPECT_EQ(test::max_abs_diff(l, l_ref), 0.0);
+      }
+}
+
+// ----------------------------------------------------- incremental pivot ---
+
+TEST_P(EngineMatrixTest, IncpivBitIdenticalAcrossEngines) {
+  // Incpiv has no single P*A = L*U: compare the factored tiles (unpacked)
+  // and a replayed solve, both of which cover the recorded pivot
+  // sequences bit-exactly.
+  const int n = 96, b = 16;
+  const Matrix a0 = Matrix::random(n, n, 917);
+  const Matrix rhs0 = Matrix::random(n, 2, 918);
+
+  layout::PackedMatrix p_ref = layout::PackedMatrix::pack(
+      a0, layout::Layout::TwoLevelBlock, b, layout::Grid{2, 2});
+  sched::ThreadTeam team_ref(1, false);
+  core::IncpivFactor f_ref =
+      core::getrf_incpiv(p_ref, matrix_options("hybrid", 1, true), team_ref);
+  Matrix lu_ref(n, n);
+  p_ref.unpack(lu_ref);
+  Matrix x_ref = rhs0;
+  f_ref.solve(x_ref);
+
+  for (const std::string& engine : sched::engine_names())
+    for (int t : kThreadCounts)
+      for (bool pack : kPackModes) {
+        SCOPED_TRACE(engine + " threads=" + std::to_string(t) +
+                     " pack=" + std::to_string(pack));
+        layout::PackedMatrix p = layout::PackedMatrix::pack(
+            a0, layout::Layout::TwoLevelBlock, b, layout::Grid{2, 2});
+        sched::ThreadTeam team(t, false);
+        core::IncpivFactor f =
+            core::getrf_incpiv(p, matrix_options(engine, t, pack), team);
+        Matrix lu(n, n);
+        p.unpack(lu);
+        EXPECT_EQ(test::max_abs_diff(lu, lu_ref), 0.0);
+        Matrix x = rhs0;
+        f.solve(x);
+        EXPECT_EQ(test::max_abs_diff(x, x_ref), 0.0);
+      }
+}
+
+// ------------------------------------------------------- stats contracts ---
+
+TEST_P(EngineMatrixTest, PriorityLookaheadPromotesAndAccounts) {
+  // The promotion counter must be live on the CALU DAG (panels exist) and
+  // the pop counters must cover every task exactly once.
+  Options o = matrix_options("priority-lookahead", 4, true);
+  Matrix a = Matrix::random(160, 160, 919);
+  Factorization f = core::getrf(a, o);
+  EXPECT_GT(f.stats.engine.promotions, 0u);
+  EXPECT_EQ(f.stats.engine.static_pops + f.stats.engine.dynamic_pops +
+                f.stats.engine.steals,
+            static_cast<std::uint64_t>(f.stats.tasks));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, EngineMatrixTest,
+                         ::testing::ValuesIn(blas::available_kernels()),
+                         test::kernel_param_name);
+
+}  // namespace
+}  // namespace calu

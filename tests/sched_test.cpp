@@ -2,6 +2,7 @@
 // registry, and the DAG executors on synthetic graphs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -170,6 +171,127 @@ TEST(ChaseLevDeque, StressNoTaskLostOrDoubleExecuted) {
   EXPECT_EQ(executed.load(), kTasks);
   for (int i = 0; i < kTasks; ++i)
     ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+// Steal-heavy adversarial pattern: one owner trickles tasks out slowly
+// while N-1 thieves hammer steal_top with randomized yields between
+// attempts, so the CAS interleavings (thief-vs-thief and thief-vs-owner
+// on the last element) are exercised under maximal contention rather
+// than the drain-mostly pattern of the test above.
+TEST(ChaseLevDeque, StressStealHeavyAdversarial) {
+  const int kTasks = 100000;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int kThieves = std::clamp(hw - 1, 3, 7);
+  ChaseLevDeque d(/*initial_capacity=*/2);
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  std::atomic<int> executed{0};
+
+  auto consume = [&](int id) {
+    hits[id].fetch_add(1, std::memory_order_relaxed);
+    executed.fetch_add(1, std::memory_order_acq_rel);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int w = 0; w < kThieves; ++w)
+    thieves.emplace_back([&, w] {
+      std::mt19937 rng(1000 + w);
+      int t;
+      while (executed.load(std::memory_order_acquire) < kTasks) {
+        if (d.steal_top(t)) consume(t);
+        // Randomized yields de-synchronize the thieves so steals hit
+        // every phase of the owner's push/pop/grow cycle.
+        if (rng() % 8 == 0) std::this_thread::yield();
+      }
+    });
+
+  // Owner: push one or two at a time (the deque hovers near empty, the
+  // ABA-prone regime), occasionally popping its own bottom.
+  std::mt19937 rng(7);
+  int next = 0;
+  while (next < kTasks) {
+    const int burst = 1 + static_cast<int>(rng() % 2);
+    for (int i = 0; i < burst && next < kTasks; ++i) d.push_bottom(next++);
+    if (rng() % 4 == 0) {
+      int t;
+      if (d.pop_bottom(t)) consume(t);
+    }
+    if (rng() % 16 == 0) std::this_thread::yield();
+  }
+  int t;
+  while (executed.load(std::memory_order_acquire) < kTasks)
+    if (d.pop_bottom(t)) consume(t);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(executed.load(), kTasks);
+  for (int i = 0; i < kTasks; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+// Empty/one-element regression: the pop_bottom/steal_top race on the
+// final element is where Chase-Lev implementations historically lose or
+// duplicate a task (the top CAS must arbitrate exactly one winner).
+// Round-trip a single element many times with a concurrent thief and
+// assert exactly-once consumption plus an empty deque after every round.
+TEST(ChaseLevDeque, StressOneElementOwnerThiefRace) {
+  const int kRounds = 50000;
+  ChaseLevDeque d(/*initial_capacity=*/2);
+  std::vector<std::atomic<int>> hits(kRounds);
+  for (auto& h : hits) h.store(0);
+  std::atomic<int> consumed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread thief([&] {
+    int t;
+    while (!stop.load(std::memory_order_acquire))
+      if (d.steal_top(t)) {
+        hits[t].fetch_add(1, std::memory_order_relaxed);
+        consumed.fetch_add(1, std::memory_order_acq_rel);
+      }
+  });
+
+  for (int r = 0; r < kRounds; ++r) {
+    d.push_bottom(r);
+    int t;
+    if (d.pop_bottom(t)) {
+      hits[t].fetch_add(1, std::memory_order_relaxed);
+      consumed.fetch_add(1, std::memory_order_acq_rel);
+    }
+    // The element went to exactly one side; wait for the round to settle
+    // so rounds can't overlap (each round is a fresh 1-element race).
+    while (consumed.load(std::memory_order_acquire) < r + 1)
+      std::this_thread::yield();
+    EXPECT_TRUE(d.empty());
+  }
+  stop.store(true, std::memory_order_release);
+  thief.join();
+
+  EXPECT_EQ(consumed.load(), kRounds);
+  for (int i = 0; i < kRounds; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "round " << i;
+}
+
+// Empty-deque operations must stay safe under concurrency: pop/steal on
+// an empty deque from both sides, interleaved with single pushes.
+TEST(ChaseLevDeque, EmptyPopAndStealAreSafe) {
+  ChaseLevDeque d(/*initial_capacity=*/2);
+  int t = -1;
+  EXPECT_FALSE(d.pop_bottom(t));
+  EXPECT_FALSE(d.steal_top(t));
+  EXPECT_TRUE(d.empty());
+  // pop_bottom on empty briefly decrements bottom_ below top_; a steal
+  // racing that window must not fabricate an element.
+  d.push_bottom(41);
+  ASSERT_TRUE(d.pop_bottom(t));
+  EXPECT_EQ(t, 41);
+  EXPECT_FALSE(d.pop_bottom(t));
+  EXPECT_FALSE(d.steal_top(t));
+  d.push_bottom(43);
+  ASSERT_TRUE(d.steal_top(t));
+  EXPECT_EQ(t, 43);
+  EXPECT_FALSE(d.steal_top(t));
+  EXPECT_TRUE(d.empty());
 }
 
 TEST(ShardedReadyQueue, SingleShardKeepsStrictPriorityOrder) {
@@ -476,14 +598,57 @@ TEST(Executor, UntaggedTasksStillRunUnderLocalityPolicy) {
 // ---------------------------------------------- engine registry / interface
 
 TEST(EngineRegistry, BuiltinsAreRegistered) {
-  for (const char* name : {"hybrid", "locality-tags", "work-stealing"}) {
+  for (const char* name : {"hybrid", "locality-tags", "work-stealing",
+                           "priority-lookahead"}) {
     EXPECT_TRUE(sched::engine_registered(name)) << name;
     auto eng = sched::make_engine(name);
     ASSERT_NE(eng, nullptr) << name;
     EXPECT_EQ(eng->name(), name);
   }
   const auto names = sched::engine_names();
-  EXPECT_GE(names.size(), 3u);
+  EXPECT_GE(names.size(), 4u);
+}
+
+TEST(EngineRegistry, NamesAreSortedAndStable) {
+  const auto first = sched::engine_names();
+  ASSERT_GE(first.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  // A second enumeration (and one after a failed registration) must
+  // return the identical ordering — callers index engines by position in
+  // sweep tables.
+  sched::register_engine("hybrid", [] {
+    return std::unique_ptr<sched::Engine>();
+  });
+  EXPECT_EQ(sched::engine_names(), first);
+}
+
+TEST(EngineRegistry, DuplicateRegistrationRejected) {
+  std::atomic<int> first_built{0};
+  ASSERT_TRUE(sched::register_engine("dup-probe", [&first_built] {
+    first_built.fetch_add(1);
+    return sched::make_engine("hybrid");
+  }));
+  // Second registration under the same name must be rejected, and the
+  // original factory must keep serving the name.
+  EXPECT_FALSE(sched::register_engine("dup-probe", [] {
+    ADD_FAILURE() << "hijacking factory must never be invoked";
+    return sched::make_engine("hybrid");
+  }));
+  auto eng = sched::make_engine("dup-probe");
+  ASSERT_NE(eng, nullptr);
+  EXPECT_EQ(first_built.load(), 1);
+}
+
+TEST(EngineRegistry, BuiltinsCannotBeReplaced) {
+  for (const char* name : {"hybrid", "locality-tags", "work-stealing",
+                           "priority-lookahead"}) {
+    EXPECT_FALSE(sched::register_engine(
+        name, [] { return std::unique_ptr<sched::Engine>(); }))
+        << name;
+    auto eng = sched::make_engine(name);
+    ASSERT_NE(eng, nullptr) << name;  // original factory intact
+    EXPECT_EQ(eng->name(), name);
+  }
 }
 
 TEST(EngineRegistry, UnknownNameReturnsNull) {
@@ -516,9 +681,9 @@ class DelegatingEngine final : public sched::Engine {
 };
 
 TEST(EngineRegistry, UserEnginePlugsIn) {
-  const bool replaced = sched::register_engine(
+  const bool registered = sched::register_engine(
       "test-delegating", [] { return std::make_unique<DelegatingEngine>(); });
-  EXPECT_FALSE(replaced);
+  EXPECT_TRUE(registered);
   auto eng = sched::make_engine("test-delegating");
   ASSERT_NE(eng, nullptr);
   ThreadTeam team(2, false);
@@ -578,7 +743,74 @@ TEST_P(EngineInterfaceTest, RunsRandomDagExactlyOnce) {
 
 INSTANTIATE_TEST_SUITE_P(Engines, EngineInterfaceTest,
                          ::testing::Values("hybrid", "locality-tags",
-                                           "work-stealing"));
+                                           "work-stealing",
+                                           "priority-lookahead"));
+
+// The priority-lookahead engine's defining behavior: panel-column tasks
+// within the look-ahead window are promoted (counted in EngineStats) and
+// generic/off-panel tasks are not.
+TEST(PriorityLookahead, PromotesPanelColumnTasks) {
+  auto eng = sched::make_engine("priority-lookahead");
+  ASSERT_NE(eng, nullptr);
+  TaskGraph g;
+  const int nsteps = 6;
+  // Per step: one panel task (P at (k,k)) followed by three trailing
+  // updates (S) that depend on it; the next panel depends on ALL of the
+  // previous step's updates, so when P(k+1) becomes ready the frontier
+  // has deterministically advanced to k+1 and the promotion decision is
+  // exact (no in-flight stragglers from earlier steps).
+  std::vector<int> prev_s;
+  int npanel = 0;
+  for (int k = 0; k < nsteps; ++k) {
+    Task tp;
+    tp.kind = trace::Kind::P;
+    tp.step = k;
+    tp.i = k;
+    tp.j = k;
+    tp.priority = static_cast<std::uint64_t>(4 * k);
+    const int pid = g.add_task(tp);
+    ++npanel;
+    for (int s : prev_s) g.add_edge(s, pid);
+    prev_s.clear();
+    for (int u = 0; u < 3; ++u) {
+      Task ts;
+      ts.kind = trace::Kind::S;
+      ts.step = k;
+      ts.i = k + 1 + u;
+      ts.j = k + 1;
+      ts.priority = static_cast<std::uint64_t>(4 * k + 1 + u);
+      const int sid = g.add_task(ts);
+      g.add_edge(pid, sid);
+      prev_s.push_back(sid);
+    }
+  }
+  g.finalize();
+  ThreadTeam team(4, false);
+  sched::RunHooks hooks;
+  hooks.lookahead_depth = 2;
+  ExecLog log(g.num_tasks());
+  auto st = eng->run(team, g, [&](int id, int) { log.mark(id); }, hooks);
+  EXPECT_EQ(log.counter.load(), g.num_tasks());
+  check_topological(g, log);
+  // Every panel task sits inside the window when it becomes ready (the
+  // frontier trails at most one step behind), so all of them promote; the
+  // S tasks never do.
+  EXPECT_EQ(st.promotions, static_cast<std::uint64_t>(npanel));
+  EXPECT_EQ(st.static_pops + st.dynamic_pops + st.steals,
+            static_cast<std::uint64_t>(g.num_tasks()));
+}
+
+TEST(PriorityLookahead, GenericTasksNeverPromote) {
+  auto eng = sched::make_engine("priority-lookahead");
+  ASSERT_NE(eng, nullptr);
+  ThreadTeam team(4, false);
+  TaskGraph g = random_dag(400, 0.01, 11, 4);  // step = -1 everywhere
+  ExecLog log(g.num_tasks());
+  auto st = eng->run(team, g, [&](int id, int) { log.mark(id); });
+  EXPECT_EQ(log.counter.load(), g.num_tasks());
+  EXPECT_EQ(st.promotions, 0u);
+  check_topological(g, log);
+}
 
 TEST(EngineStats, MergeAccumulatesAndReportFormats) {
   sched::EngineStats a, b;
