@@ -1,0 +1,189 @@
+// batch_throughput.cpp — the session-amortization bench: jobs/s and
+// per-job latency for batches of small/medium factorize+solve jobs, with
+// session reuse ON (one persistent sched::Session serves the whole batch)
+// vs OFF (every job is a one-shot gesv that spawns and tears down its own
+// thread team).  The delta is the per-call overhead the solver-service
+// layer exists to amortize.
+//
+//   batch_throughput [--json=PATH] [--engine=NAME] [--threads=N]
+//
+// Environment: CALU_BENCH_FULL / CALU_BENCH_REPS / CALU_BENCH_THREADS as
+// in every bench.  --threads may exceed the hardware count (unlike the
+// CALU_BENCH_THREADS cap): spawning an oversubscribed team per call is
+// exactly the overhead under measurement, and small containers would
+// otherwise hide it.  --json writes BENCH_batch.json (committed at the
+// repo root as the perf-trajectory artifact; CI smoke-validates its
+// shape).
+// Both timed regions include team construction — that is the cost under
+// measurement — and `teams_spawned` is counted via
+// ThreadTeam::teams_constructed(), not inferred from timing.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/batch.h"
+#include "src/core/solve.h"
+
+namespace {
+
+using namespace calu;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Config {
+  int n = 0, b = 0, jobs = 0;
+  bool reuse = false;
+};
+
+struct Result {
+  Config cfg;
+  double seconds = 0.0;  // median over reps, whole batch
+  double jobs_per_s = 0.0;
+  double latency_ms = 0.0;  // per-job, seconds / jobs
+  std::uint64_t teams_spawned = 0;
+  std::uint64_t dag_runs = 0;
+};
+
+std::string json_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) return a.substr(7);
+  }
+  return {};
+}
+
+int threads_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--threads=", 0) == 0) return std::atoi(a.c_str() + 10);
+  }
+  return 0;
+}
+
+Result run_config(const Config& cfg, const core::Options& opt, int reps) {
+  std::vector<layout::Matrix> as, bs;
+  for (int i = 0; i < cfg.jobs; ++i) {
+    as.push_back(layout::Matrix::random(
+        cfg.n, cfg.n, 4000 + static_cast<std::uint64_t>(i)));
+    bs.push_back(layout::Matrix::random(
+        cfg.n, 1, 5000 + static_cast<std::uint64_t>(i)));
+  }
+
+  Result res;
+  res.cfg = cfg;
+  std::vector<double> secs;
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t teams0 = sched::ThreadTeam::teams_constructed();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (cfg.reuse) {
+      sched::Session session(core::session_options_from(opt));
+      core::BatchSolveResult batch =
+          core::batched_gesv(as, bs, opt, session, /*max_refine=*/1);
+      res.dag_runs = batch.stats.dag_runs;
+    } else {
+      for (int i = 0; i < cfg.jobs; ++i)
+        core::gesv(as[i], bs[i], opt, /*max_refine=*/1);
+      res.dag_runs = static_cast<std::uint64_t>(cfg.jobs);
+    }
+    secs.push_back(seconds_since(t0));
+    if (r == 0)
+      res.teams_spawned = sched::ThreadTeam::teams_constructed() - teams0;
+  }
+  std::sort(secs.begin(), secs.end());
+  res.seconds = secs[secs.size() / 2];
+  res.jobs_per_s = cfg.jobs / res.seconds;
+  res.latency_ms = res.seconds / cfg.jobs * 1e3;
+  return res;
+}
+
+void write_json(const char* path, const std::vector<Result>& results,
+                int threads, const std::string& engine, int reps) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"batch_throughput\",\n");
+  std::fprintf(f, "  \"threads\": %d,\n", threads);
+  std::fprintf(f, "  \"engine\": \"%s\",\n", engine.c_str());
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"full_scale\": %s,\n",
+               bench::full_scale() ? "true" : "false");
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "    {\"n\": %d, \"b\": %d, \"jobs\": %d, "
+                 "\"session_reuse\": %s, \"seconds\": %.6f, "
+                 "\"jobs_per_s\": %.2f, \"latency_ms\": %.3f, "
+                 "\"teams_spawned\": %llu, \"dag_runs\": %llu}%s\n",
+                 r.cfg.n, r.cfg.b, r.cfg.jobs,
+                 r.cfg.reuse ? "true" : "false", r.seconds, r.jobs_per_s,
+                 r.latency_ms,
+                 static_cast<unsigned long long>(r.teams_spawned),
+                 static_cast<unsigned long long>(r.dag_runs),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace calu::bench;
+
+  const std::string engine_arg = engine_flag(argc, argv);
+  const std::string engine = engine_arg.empty() ? "hybrid" : engine_arg;
+  const std::string json_path = json_flag(argc, argv);
+  const int arg_threads = threads_flag(argc, argv);
+  const int threads = arg_threads > 0 ? arg_threads : numa_threads();
+  const int nreps = reps();
+
+  core::Options opt;
+  opt.threads = threads;
+  opt.engine = engine;
+
+  print_banner("batch_throughput",
+               "jobs/s for batched factorize+solve, session reuse on/off",
+               "amortization target: reuse-on >= reuse-off, gap largest "
+               "at small n x many jobs");
+
+  const std::vector<int> ns = sizes({64, 160}, {256, 512});
+  const std::vector<int> job_counts =
+      full_scale() ? std::vector<int>{4, 16, 64}
+                   : std::vector<int>{1, 4, 16, 48};
+
+  std::printf("%6s %4s %5s %7s %10s %10s %12s %6s\n", "n", "b", "jobs",
+              "reuse", "seconds", "jobs/s", "latency_ms", "teams");
+  std::vector<Result> results;
+  for (int n : ns)
+    for (int jobs : job_counts)
+      for (bool reuse : {true, false}) {
+        Config cfg;
+        cfg.n = n;
+        cfg.b = default_b(n);
+        cfg.jobs = jobs;
+        cfg.reuse = reuse;
+        core::Options o = opt;
+        o.b = cfg.b;
+        results.push_back(run_config(cfg, o, nreps));
+        const Result& r = results.back();
+        std::printf("%6d %4d %5d %7s %10.4f %10.1f %12.3f %6llu\n", r.cfg.n,
+                    r.cfg.b, r.cfg.jobs, r.cfg.reuse ? "on" : "off",
+                    r.seconds, r.jobs_per_s, r.latency_ms,
+                    static_cast<unsigned long long>(r.teams_spawned));
+      }
+
+  if (!json_path.empty())
+    write_json(json_path.c_str(), results, threads, engine, nreps);
+  return 0;
+}

@@ -2,25 +2,32 @@
 # run_bench.sh — build the bench targets and emit the perf-trajectory
 # artifacts.
 #
-#   bench/run_bench.sh [output.json]
+#   bench/run_bench.sh [kernels.json] [batch.json]
 #
-# Writes BENCH_kernels.json (default) at the repo root: single-thread
-# GFLOP/s of gemm, trsm, and the blocked panel factorization (plus GB/s
-# of the fused row swaps) at the paper's tile sizes for every dispatched
-# micro-kernel variant.  Later PRs compare their numbers against the
-# committed trajectory of these files.
+# Writes BENCH_kernels.json (single-thread GFLOP/s of gemm, trsm, and the
+# blocked panel factorization, plus GB/s of the fused row swaps, at the
+# paper's tile sizes for every dispatched micro-kernel variant) and
+# BENCH_batch.json (batched factorize+solve jobs/s with session reuse
+# on/off — the solver-service amortization) at the repo root.  Later PRs
+# compare their numbers against the committed trajectory of these files.
 #
 # Environment:
-#   BUILD_DIR   build directory (default: build)
-#   CALU_KERNEL force one kernel variant; the --json sweep then covers
-#               only that variant (CI's generic smoke run relies on this)
+#   BUILD_DIR     build directory (default: build)
+#   CALU_KERNEL   force one kernel variant; the --json sweep then covers
+#                 only that variant (CI's generic smoke run relies on this)
+#   BATCH_THREADS team size for the batch bench (default 4; oversubscribe
+#                 deliberately — the spawn cost is what it measures)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build}"
 out="${1:-$repo/BENCH_kernels.json}"
+batch_out="${2:-$repo/BENCH_batch.json}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release -DCALU_BUILD_BENCH=ON
-cmake --build "$build" -j"$(nproc)" --target kernels_microbench
+cmake --build "$build" -j"$(nproc)" --target kernels_microbench \
+  batch_throughput
 
 "$build/kernels_microbench" --json="$out"
+CALU_BENCH_REPS="${CALU_BENCH_REPS:-3}" "$build/batch_throughput" \
+  --threads="${BATCH_THREADS:-4}" --json="$batch_out"

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "src/blas/blas.h"
+#include "src/core/batch.h"
 #include "src/core/calu.h"
 #include "src/core/calu_dag.h"
 #include "src/core/cholesky.h"
@@ -28,6 +29,7 @@
 #include "src/noise/noise.h"
 #include "src/sched/engine.h"
 #include "src/sched/engine_registry.h"
+#include "src/sched/session.h"
 #include "src/sched/thread_team.h"
 #include "src/trace/svg.h"
 #include "src/trace/timeline.h"

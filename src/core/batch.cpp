@@ -1,0 +1,72 @@
+#include "src/core/batch.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace calu::core {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Stamps the batch-wide counters from the session's run/total deltas.
+void finish_stats(BatchStats& st, const sched::Session& session,
+                  std::uint64_t runs_before,
+                  std::chrono::steady_clock::time_point t0,
+                  std::size_t njobs) {
+  st.dag_runs = session.runs() - runs_before;
+  st.seconds = seconds_since(t0);
+  st.jobs_per_second =
+      st.seconds > 0.0 ? static_cast<double>(njobs) / st.seconds : 0.0;
+}
+
+}  // namespace
+
+BatchFactorResult batched_factor(util::Span<layout::Matrix> as,
+                                 const Options& opt,
+                                 sched::Session& session) {
+  BatchFactorResult res;
+  res.jobs.reserve(as.size());
+  const std::uint64_t runs_before = session.runs();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (layout::Matrix& a : as) {
+    res.jobs.push_back(getrf(a, opt, session));
+    res.stats.engine.merge(res.jobs.back().stats.engine);
+  }
+  finish_stats(res.stats, session, runs_before, t0, as.size());
+  return res;
+}
+
+BatchFactorResult batched_factor(util::Span<layout::Matrix> as,
+                                 const Options& opt) {
+  sched::Session ephemeral(session_options_from(opt));
+  return batched_factor(as, opt, ephemeral);
+}
+
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, sched::Session& session,
+                              int max_refine) {
+  assert(as.size() == bs.size());
+  BatchSolveResult res;
+  res.jobs.reserve(as.size());
+  const std::uint64_t runs_before = session.runs();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    res.jobs.push_back(gesv(as[i], bs[i], opt, session, max_refine));
+    res.stats.engine.merge(res.jobs.back().factorization.stats.engine);
+  }
+  finish_stats(res.stats, session, runs_before, t0, as.size());
+  return res;
+}
+
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, int max_refine) {
+  sched::Session ephemeral(session_options_from(opt));
+  return batched_gesv(as, bs, opt, ephemeral, max_refine);
+}
+
+}  // namespace calu::core

@@ -1,0 +1,72 @@
+// batch.h — batched multi-solve on a persistent session: submit N
+// independent factorize(+solve) jobs and run them back-to-back on one
+// pinned thread team.
+//
+// Small-matrix and many-RHS traffic (the LU-QR-hybrid batching regime,
+// arXiv:1401.5522) is dominated by per-call overhead — thread spawn,
+// engine construction, plan allocation — not flops.  The batch layer
+// amortizes all of it: one sched::Session serves every job, round-robin
+// across whole-DAG runs.  Each job executes exactly the DAG its one-shot
+// driver would run with the same Options, so per-job results are
+// bit-identical to N separate calls (tests/batch_test.cpp holds that
+// across every registered engine), and threads are spawned once per
+// session (ThreadTeam::teams_constructed() counts, no timing).
+// bench/batch_throughput.cpp measures the amortization (BENCH_batch.json).
+#pragma once
+
+#include <vector>
+
+#include "src/core/calu.h"
+#include "src/core/solve.h"
+#include "src/sched/session.h"
+#include "src/util/span.h"
+
+namespace calu::core {
+
+/// Counters aggregated across one batch submission.
+struct BatchStats {
+  /// Engine counters merged across every job's DAG run(s).
+  sched::EngineStats engine;
+  std::uint64_t dag_runs = 0;  ///< DAGs executed for this batch
+  double seconds = 0.0;        ///< wall time for the whole batch
+  double jobs_per_second = 0.0;
+};
+
+struct BatchFactorResult {
+  std::vector<Factorization> jobs;  ///< per-job results, input order
+  BatchStats stats;
+};
+
+struct BatchSolveResult {
+  std::vector<SolveResult> jobs;  ///< per-job results, input order
+  BatchStats stats;
+};
+
+/// Factors N independent column-major matrices in place (LAPACK-style
+/// combined L/U factors per job) through one session.  Jobs may have
+/// mixed sizes; `opt` applies to all of them (pin opt.pr/pc when
+/// comparing across team sizes).
+BatchFactorResult batched_factor(util::Span<layout::Matrix> as,
+                                 const Options& opt,
+                                 sched::Session& session);
+
+/// One-shot convenience: ephemeral session for the whole batch (still one
+/// team for all N jobs — the spawn is amortized across the batch).
+BatchFactorResult batched_factor(util::Span<layout::Matrix> as,
+                                 const Options& opt);
+
+/// Factor + solve N independent systems A[i] x = b[i] with up to
+/// `max_refine` refinement steps each, through one session.  as[i] must
+/// be square with as[i].rows() == bs[i].rows(); sizes may differ across
+/// jobs.
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, sched::Session& session,
+                              int max_refine = 2);
+
+/// One-shot convenience: ephemeral session for the whole batch.
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, int max_refine = 2);
+
+}  // namespace calu::core

@@ -14,7 +14,7 @@
 #include "src/core/calu_dag.h"
 #include "src/core/tslu.h"
 #include "src/model/lu_cost.h"
-#include "src/sched/engine_registry.h"
+#include "src/sched/session.h"
 #include "src/util/aligned_buffer.h"
 
 namespace calu::core {
@@ -328,6 +328,10 @@ std::string Options::resolved_engine() const {
   return "hybrid";
 }
 
+sched::SessionOptions session_options_from(const Options& opt) {
+  return sched::SessionOptions{opt.resolved_threads(), opt.pin_threads};
+}
+
 sched::RunHooks run_hooks_from(const Options& opt, int team_size,
                                std::unique_ptr<noise::Injector>& injector) {
   sched::RunHooks hooks;
@@ -343,7 +347,7 @@ sched::RunHooks run_hooks_from(const Options& opt, int team_size,
 }
 
 Factorization getrf(layout::PackedMatrix& a, const Options& opt,
-                    sched::ThreadTeam* team) {
+                    sched::Session& session) {
   const layout::Tiling& tl = a.tiling();
   assert(tl.b == opt.b);
 
@@ -356,23 +360,15 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   f.stats.npanels = plan.npanels;
   f.stats.nstatic_panels = plan.nstatic;
 
-  std::unique_ptr<sched::ThreadTeam> local_team;
-  if (team == nullptr) {
-    local_team = std::make_unique<sched::ThreadTeam>(opt.resolved_threads(),
-                                                     opt.pin_threads);
-    team = local_team.get();
-  }
-
   Runtime rt(a, plan);
   std::unique_ptr<noise::Injector> injector;
-  sched::RunHooks hooks = run_hooks_from(opt, team->size(), injector);
+  sched::RunHooks hooks = run_hooks_from(opt, session.threads(), injector);
 
   auto exec = [&rt](int id, int tid) { rt.exec(id, tid); };
-  std::unique_ptr<sched::Engine> engine =
-      sched::make_engine_or_default(opt.resolved_engine());
   t0 = std::chrono::steady_clock::now();
-  f.stats.engine = engine->run(*team, plan.graph, exec, hooks);
-  rt.apply_left_swaps(*team);
+  f.stats.engine =
+      session.run(plan.graph, exec, hooks, opt.resolved_engine());
+  rt.apply_left_swaps(session.team());
   f.stats.factor_seconds = seconds_since(t0);
   f.stats.pack_tasks = rt.pack_tasks();
   f.stats.s_operand_packs = rt.s_operand_packs();
@@ -386,12 +382,28 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   return f;
 }
 
-Factorization getrf(layout::Matrix& a, const Options& opt) {
+Factorization getrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::ThreadTeam* team) {
+  if (team != nullptr) {
+    sched::Session borrowed(*team);
+    return getrf(a, opt, borrowed);
+  }
+  sched::Session ephemeral(session_options_from(opt));
+  return getrf(a, opt, ephemeral);
+}
+
+Factorization getrf(layout::Matrix& a, const Options& opt,
+                    sched::Session& session) {
   layout::PackedMatrix p = layout::PackedMatrix::pack(
       a, opt.layout, opt.b, opt.resolved_grid());
-  Factorization f = getrf(p, opt, nullptr);
+  Factorization f = getrf(p, opt, session);
   p.unpack(a);
   return f;
+}
+
+Factorization getrf(layout::Matrix& a, const Options& opt) {
+  sched::Session ephemeral(session_options_from(opt));
+  return getrf(a, opt, ephemeral);
 }
 
 }  // namespace calu::core

@@ -23,6 +23,7 @@
 #include "src/layout/packed.h"
 #include "src/noise/noise.h"
 #include "src/sched/engine.h"
+#include "src/sched/session.h"
 #include "src/sched/thread_team.h"
 #include "src/trace/trace.h"
 
@@ -99,15 +100,29 @@ struct Factorization {
   Stats stats;
 };
 
-/// Factor a packed matrix in place.  The PackedMatrix must have been packed
-/// with opt.b and opt.resolved_grid().  If `team` is null a team is created
-/// for the call.
+/// Factor a packed matrix in place on a caller-provided session: the
+/// session's pinned team executes the DAG under the engine named by
+/// opt.resolved_engine() (cached in the session), and the run's counters
+/// fold into session.totals().  The PackedMatrix must have been packed
+/// with opt.b and opt.resolved_grid().  opt.threads does not resize the
+/// team (the session owns its lifetime) but still feeds resolved_grid()
+/// — pin pr/pc when bit-identity across team sizes matters.
+Factorization getrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::Session& session);
+
+/// One-shot: an ephemeral session is created for the call (team spawned
+/// and torn down).  If `team` is non-null the call borrows it instead.
 Factorization getrf(layout::PackedMatrix& a, const Options& opt,
                     sched::ThreadTeam* team = nullptr);
 
-/// Convenience: packs `a` into opt.layout, factors, and unpacks the [L\U]
-/// factors back into `a` (column-major, LAPACK-style).
+/// Convenience: packs `a` into opt.layout, factors, and unpacks the
+/// combined L and U factors back into `a` (column-major, LAPACK getrf
+/// layout).
 Factorization getrf(layout::Matrix& a, const Options& opt);
+
+/// Session variant of the column-major convenience driver.
+Factorization getrf(layout::Matrix& a, const Options& opt,
+                    sched::Session& session);
 
 /// Engine RunHooks from Options — the single source for the Options →
 /// hooks wiring every factorization driver (CALU, Cholesky, incpiv)
@@ -116,5 +131,10 @@ Factorization getrf(layout::Matrix& a, const Options& opt);
 /// keeps it alive through the run and reads its delta stats afterwards.
 sched::RunHooks run_hooks_from(const Options& opt, int team_size,
                                std::unique_ptr<noise::Injector>& injector);
+
+/// SessionOptions from Options — likewise the single source for the
+/// Options → session wiring every one-shot ("ephemeral session, run
+/// once") entry point shares.
+sched::SessionOptions session_options_from(const Options& opt);
 
 }  // namespace calu::core

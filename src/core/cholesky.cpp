@@ -11,7 +11,7 @@
 #include "src/model/lu_cost.h"
 #include "src/sched/dag.h"
 #include "src/sched/engine.h"
-#include "src/sched/engine_registry.h"
+#include "src/sched/session.h"
 
 namespace calu::core {
 namespace {
@@ -110,7 +110,7 @@ sched::TaskGraph build_chol_graph(const layout::Tiling& tl,
 }  // namespace
 
 Factorization potrf(layout::PackedMatrix& a, const Options& opt,
-                    sched::ThreadTeam* team) {
+                    sched::Session& session) {
   const layout::Tiling& tl = a.tiling();
   assert(tl.m == tl.n);
 
@@ -126,13 +126,6 @@ Factorization potrf(layout::PackedMatrix& a, const Options& opt,
   f.stats.nstatic_panels = std::clamp(
       static_cast<int>(std::floor(tl.mb() * (1.0 - opt.resolved_dratio()))),
       0, tl.mb());
-
-  std::unique_ptr<sched::ThreadTeam> local_team;
-  if (team == nullptr) {
-    local_team = std::make_unique<sched::ThreadTeam>(opt.resolved_threads(),
-                                                     opt.pin_threads);
-    team = local_team.get();
-  }
 
   auto body = [&](int id, int tid) {
     (void)tid;
@@ -173,12 +166,10 @@ Factorization potrf(layout::PackedMatrix& a, const Options& opt,
   };
 
   std::unique_ptr<noise::Injector> injector;
-  sched::RunHooks hooks = run_hooks_from(opt, team->size(), injector);
+  sched::RunHooks hooks = run_hooks_from(opt, session.threads(), injector);
 
-  std::unique_ptr<sched::Engine> engine =
-      sched::make_engine_or_default(opt.resolved_engine());
   t0 = std::chrono::steady_clock::now();
-  f.stats.engine = engine->run(*team, g, body, hooks);
+  f.stats.engine = session.run(g, body, hooks, opt.resolved_engine());
   f.stats.factor_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -190,12 +181,28 @@ Factorization potrf(layout::PackedMatrix& a, const Options& opt,
   return f;
 }
 
-Factorization potrf(layout::Matrix& a, const Options& opt) {
+Factorization potrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::ThreadTeam* team) {
+  if (team != nullptr) {
+    sched::Session borrowed(*team);
+    return potrf(a, opt, borrowed);
+  }
+  sched::Session ephemeral(session_options_from(opt));
+  return potrf(a, opt, ephemeral);
+}
+
+Factorization potrf(layout::Matrix& a, const Options& opt,
+                    sched::Session& session) {
   layout::PackedMatrix p = layout::PackedMatrix::pack(
       a, opt.layout, opt.b, opt.resolved_grid());
-  Factorization f = potrf(p, opt, nullptr);
+  Factorization f = potrf(p, opt, session);
   p.unpack(a);
   return f;
+}
+
+Factorization potrf(layout::Matrix& a, const Options& opt) {
+  sched::Session ephemeral(session_options_from(opt));
+  return potrf(a, opt, ephemeral);
 }
 
 void potrs(const layout::Matrix& l, layout::Matrix& b) {

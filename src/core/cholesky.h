@@ -14,18 +14,29 @@
 #include "src/core/calu.h"
 #include "src/layout/matrix.h"
 #include "src/layout/packed.h"
+#include "src/sched/session.h"
 #include "src/sched/thread_team.h"
 
 namespace calu::core {
 
-/// Factor the SPD matrix (lower triangle referenced) in place: A = L*L^T.
-/// Reuses calu::core::Options (b, schedule, dratio, layout, threads,
-/// noise, recorder); pivot-related fields are ignored and ipiv is empty.
+/// Factor the SPD matrix (lower triangle referenced) in place on a
+/// caller-provided session: A = L*L^T.  Reuses calu::core::Options (b,
+/// schedule, dratio, layout, engine, noise, recorder); pivot-related
+/// fields are ignored and ipiv is empty.
+Factorization potrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::Session& session);
+
+/// One-shot: an ephemeral session is created for the call; a non-null
+/// `team` is borrowed instead.
 Factorization potrf(layout::PackedMatrix& a, const Options& opt,
                     sched::ThreadTeam* team = nullptr);
 
 /// Convenience on a column-major matrix: packs, factors, unpacks.
 Factorization potrf(layout::Matrix& a, const Options& opt);
+
+/// Session variant of the column-major convenience driver.
+Factorization potrf(layout::Matrix& a, const Options& opt,
+                    sched::Session& session);
 
 /// Solve A x = b in place given the Cholesky factor L (column-major,
 /// lower): b := L^{-T} L^{-1} b.

@@ -10,7 +10,7 @@
 #include "src/model/lu_cost.h"
 #include "src/sched/dag.h"
 #include "src/sched/engine.h"
-#include "src/sched/engine_registry.h"
+#include "src/sched/session.h"
 
 namespace calu::core {
 namespace {
@@ -26,7 +26,7 @@ std::uint64_t prio(int j, int k, int rank) {
 }  // namespace
 
 IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
-                          sched::ThreadTeam& team) {
+                          sched::Session& session) {
   const layout::Tiling& tl = a.tiling();
   assert(tl.m == tl.n && "incremental pivoting implemented for square A");
   const int nt = tl.mb();
@@ -208,14 +208,12 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
   };
 
   std::unique_ptr<noise::Injector> injector;
-  sched::RunHooks hooks = run_hooks_from(opt, team.size(), injector);
+  sched::RunHooks hooks = run_hooks_from(opt, session.threads(), injector);
   // Incremental pivoting's DAG is all-dynamic; under the default hybrid
   // engine the global queue serves it (its static section is simply
   // empty), and any registered engine can be swapped in via Options.
-  std::unique_ptr<sched::Engine> engine =
-      sched::make_engine_or_default(opt.resolved_engine());
   const auto t0 = std::chrono::steady_clock::now();
-  f.stats.engine = engine->run(team, g, exec, hooks);
+  f.stats.engine = session.run(g, exec, hooks, opt.resolved_engine());
   f.stats.factor_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -226,6 +224,12 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
     f.stats.noise_delta_avg = injector->delta_avg();
   }
   return f;
+}
+
+IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
+                          sched::ThreadTeam& team) {
+  sched::Session borrowed(team);
+  return getrf_incpiv(a, opt, borrowed);
 }
 
 IncpivFactor getrf_incpiv(layout::PackedMatrix& a, sched::ThreadTeam& team,

@@ -22,6 +22,7 @@
 #include "src/core/calu.h"
 #include "src/layout/matrix.h"
 #include "src/layout/packed.h"
+#include "src/sched/session.h"
 #include "src/sched/thread_team.h"
 
 namespace calu::core {
@@ -37,7 +38,7 @@ class IncpivFactor {
  private:
   friend IncpivFactor getrf_incpiv(layout::PackedMatrix& a,
                                    const Options& opt,
-                                   sched::ThreadTeam& team);
+                                   sched::Session& session);
   const layout::PackedMatrix* a_ = nullptr;
   int npanels_ = 0;
   std::vector<std::vector<int>> tile_piv_;   // per k: GETRF pivots (local)
@@ -47,10 +48,15 @@ class IncpivFactor {
 };
 
 /// Factor the packed matrix in place with dynamically scheduled incremental
-/// pivoting (square matrices).  The PackedMatrix stays owned by the caller
-/// and must outlive the returned factor.  Honors Options::engine /
-/// lookahead_depth / recorder / noise / ws_seed (the DAG is all-dynamic,
-/// so schedule/dratio have no effect beyond engine resolution).
+/// pivoting (square matrices) on a caller-provided session.  The
+/// PackedMatrix stays owned by the caller and must outlive the returned
+/// factor.  Honors Options::engine / lookahead_depth / recorder / noise /
+/// ws_seed (the DAG is all-dynamic, so schedule/dratio have no effect
+/// beyond engine resolution).
+IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
+                          sched::Session& session);
+
+/// Borrowing-team variant (legacy drivers and benches).
 IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
                           sched::ThreadTeam& team);
 

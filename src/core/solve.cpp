@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 #include "src/blas/blas.h"
 
@@ -26,6 +28,13 @@ double solve_residual(const layout::Matrix& a, const layout::Matrix& x,
   layout::Matrix r = b;
   blas::gemm(blas::Trans::No, blas::Trans::No, a.rows(), x.cols(), a.cols(),
              1.0, a.data(), a.ld(), x.data(), x.ld(), -1.0, r.data(), r.ld());
+  // A non-finite residual (singular pivot ⇒ x holds inf/NaN) must report
+  // as NaN: max-based norms silently skip NaN compares, which used to make
+  // a garbage solution look *perfectly converged* (residual 0).
+  for (int j = 0; j < r.cols(); ++j)
+    for (int i = 0; i < r.rows(); ++i)
+      if (!std::isfinite(r(i, j)))
+        return std::numeric_limits<double>::quiet_NaN();
   const double na = blas::norm_inf(a.rows(), a.cols(), a.data(), a.ld());
   const double nx = blas::norm_inf(x.rows(), x.cols(), x.data(), x.ld());
   const double nb = blas::norm_inf(b.rows(), b.cols(), b.data(), b.ld());
@@ -36,10 +45,17 @@ double solve_residual(const layout::Matrix& a, const layout::Matrix& x,
 
 SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
                  const Options& opt, int max_refine) {
+  sched::Session ephemeral(session_options_from(opt));
+  return gesv(a, b, opt, ephemeral, max_refine);
+}
+
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, sched::Session& session,
+                 int max_refine) {
   assert(a.rows() == a.cols() && a.rows() == b.rows());
   SolveResult res;
   layout::Matrix lu = a;
-  res.factorization = getrf(lu, opt);
+  res.factorization = getrf(lu, opt, session);
   res.x = b;
   getrs(lu, res.factorization.ipiv, res.x);
   res.residual = solve_residual(a, res.x, b);

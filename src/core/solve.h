@@ -6,16 +6,20 @@
 
 #include "src/core/calu.h"
 #include "src/layout/matrix.h"
+#include "src/sched/session.h"
 
 namespace calu::core {
 
-/// Solve op(A) X = B in place given a LAPACK-style [L\U] factorization
-/// `lu` and absolute-row swap sequence `ipiv` (getrs semantics, NoTrans).
+/// Solve op(A) X = B in place given a LAPACK-style packed L/U
+/// factorization `lu` and absolute-row swap sequence `ipiv` (getrs
+/// semantics, NoTrans).
 void getrs(const layout::Matrix& lu, util::Span<const int> ipiv,
            layout::Matrix& b);
 
 /// Componentwise-normalized residual ||A x - b||_inf /
 /// (||A||_inf ||x||_inf + ||b||_inf) — the standard backward-error metric.
+/// NaN when the residual contains non-finite values (a singular pivot
+/// poisons x with inf/NaN; the metric must not report that as converged).
 double solve_residual(const layout::Matrix& a, const layout::Matrix& x,
                       const layout::Matrix& b);
 
@@ -27,8 +31,16 @@ struct SolveResult {
 };
 
 /// Factor with CALU (per `opt`) and solve A x = b with up to `max_refine`
-/// steps of iterative refinement in double precision.
+/// steps of iterative refinement in double precision.  One-shot: spawns
+/// an ephemeral session (thread team) for the call.
 SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
                  const Options& opt, int max_refine = 2);
+
+/// gesv on a caller-provided persistent session: the factorization DAG
+/// runs on the session's pinned team, so back-to-back solves pay no
+/// thread-spawn cost.  Numerically identical to the one-shot overload.
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, sched::Session& session,
+                 int max_refine = 2);
 
 }  // namespace calu::core

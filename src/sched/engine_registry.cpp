@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <set>
 #include <utility>
 
 namespace calu::sched {
@@ -73,9 +74,20 @@ std::unique_ptr<Engine> make_engine(std::string_view name) {
 std::unique_ptr<Engine> make_engine_or_default(std::string_view name) {
   std::unique_ptr<Engine> engine = make_engine(name);
   if (!engine) {
-    std::fprintf(stderr,
-                 "calu::sched: unknown engine '%.*s', using \"hybrid\"\n",
-                 static_cast<int>(name.size()), name.data());
+    // Warn once per unknown name: the fallback typically sits on a hot
+    // per-call path (every factorization of a batch resolves its engine),
+    // and a typo'd name must not spam stderr thousands of times.
+    static std::mutex warned_mu;
+    static std::set<std::string, std::less<>> warned;
+    bool first;
+    {
+      std::lock_guard lk(warned_mu);
+      first = warned.emplace(name).second;
+    }
+    if (first)
+      std::fprintf(stderr,
+                   "calu::sched: unknown engine '%.*s', using \"hybrid\"\n",
+                   static_cast<int>(name.size()), name.data());
     engine = make_engine("hybrid");
   }
   return engine;

@@ -33,10 +33,11 @@ bool register_engine(std::string name, EngineFactory factory);
 /// Builds a fresh engine instance; nullptr when `name` is unknown.
 std::unique_ptr<Engine> make_engine(std::string_view name);
 
-/// make_engine(), but an unknown name warns on stderr and falls back to
-/// "hybrid" instead of returning nullptr — the drivers use this so a
-/// typo'd Options::engine degrades to the default executor rather than
-/// crashing a release build.
+/// make_engine(), but an unknown name warns on stderr (once per distinct
+/// name — the call sits on per-factorization paths, so a typo must not
+/// spam a batch run) and falls back to "hybrid" instead of returning
+/// nullptr — the drivers use this so a typo'd Options::engine degrades to
+/// the default executor rather than crashing a release build.
 std::unique_ptr<Engine> make_engine_or_default(std::string_view name);
 
 /// True when `name` resolves to a factory.

@@ -1,0 +1,35 @@
+#include "src/sched/session.h"
+
+#include <utility>
+
+#include "src/sched/engine_registry.h"
+
+namespace calu::sched {
+
+Session::Session(const SessionOptions& opt)
+    : owned_team_(std::make_unique<ThreadTeam>(
+          opt.threads > 0 ? opt.threads : ThreadTeam::hardware_threads(),
+          opt.pin_threads)),
+      team_(owned_team_.get()) {}
+
+Session::Session(ThreadTeam& team) : team_(&team) {}
+
+Engine& Session::engine(std::string_view name) {
+  auto it = engines_.find(name);
+  if (it == engines_.end()) {
+    std::unique_ptr<Engine> eng = make_engine_or_default(name);
+    it = engines_.emplace(std::string(name), std::move(eng)).first;
+  }
+  return *it->second;
+}
+
+EngineStats Session::run(const TaskGraph& graph, const ExecFn& exec,
+                         const RunHooks& hooks,
+                         std::string_view engine_name) {
+  EngineStats st = engine(engine_name).run(*team_, graph, exec, hooks);
+  totals_.merge(st);
+  ++runs_;
+  return st;
+}
+
+}  // namespace calu::sched

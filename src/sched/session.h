@@ -1,0 +1,86 @@
+// session.h — persistent solver session: one pinned thread team plus
+// cached engine instances, reused across many DAG runs.
+//
+// The paper's scheduler amortizes its cost across one factorization; a
+// service amortizes it across *many*.  Every one-shot driver call used to
+// construct a fresh ThreadTeam (spawn + pin + park p-1 workers) and a
+// fresh Engine — per-call overhead that dominates small-matrix and
+// many-RHS workloads.  A Session hoists both: construct it once, run any
+// number of factorizations/solves on it back-to-back, and the workers are
+// spawned exactly once (ThreadTeam::teams_constructed() lets tests assert
+// that by counting, not timing).
+//
+//   sched::Session s({.threads = 8});
+//   for (auto& job : jobs) core::getrf(job.a, opt, s);   // no re-spawn
+//
+// The one-shot entry points are themselves implemented as "make an
+// ephemeral Session, run once", so the session path is not a second code
+// path: bit-identity with one-shot results holds by construction (the
+// numerics depend only on Options — grid, tile size, d-ratio — never on
+// which team executed the DAG; tests/batch_test.cpp enforces it in the
+// engine-matrix style).
+//
+// A Session is NOT thread-safe: one caller thread submits DAGs
+// sequentially, parallelism comes from the team executing each DAG.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/sched/engine.h"
+#include "src/sched/thread_team.h"
+
+namespace calu::sched {
+
+struct SessionOptions {
+  int threads = 0;         ///< team size; 0 = all hardware threads
+  bool pin_threads = true; ///< pin workers round-robin to cores
+};
+
+class Session {
+ public:
+  /// Spawns and owns the session's thread team.
+  explicit Session(const SessionOptions& opt = {});
+
+  /// Borrows an externally owned team (legacy drivers and benches that
+  /// already manage a ThreadTeam).  The team must outlive the session.
+  explicit Session(ThreadTeam& team);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ThreadTeam& team() { return *team_; }
+  int threads() const { return team_->size(); }
+
+  /// The cached engine instance for a registry name, created on first use
+  /// with make_engine_or_default semantics (unknown names warn once and
+  /// fall back to "hybrid").  Engines are stateless across run() calls,
+  /// so one instance per name serves the whole session.
+  Engine& engine(std::string_view name);
+
+  /// Runs one finalized DAG on the session team under the named engine
+  /// and folds the run's counters into totals().
+  EngineStats run(const TaskGraph& graph, const ExecFn& exec,
+                  const RunHooks& hooks = {},
+                  std::string_view engine_name = "hybrid");
+
+  /// DAGs executed through this session so far.
+  std::uint64_t runs() const { return runs_; }
+
+  /// Engine counters merged across every run() (elapsed is the max single
+  /// run, matching EngineStats::merge semantics).
+  const EngineStats& totals() const { return totals_; }
+
+ private:
+  std::unique_ptr<ThreadTeam> owned_team_;
+  ThreadTeam* team_;
+  // std::less<> enables heterogeneous string_view lookup.
+  std::map<std::string, std::unique_ptr<Engine>, std::less<>> engines_;
+  EngineStats totals_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace calu::sched

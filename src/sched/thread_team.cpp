@@ -10,6 +10,9 @@
 namespace calu::sched {
 namespace {
 
+std::atomic<std::uint64_t> g_teams_constructed{0};
+std::atomic<std::uint64_t> g_workers_spawned{0};
+
 void pin_to_core(int core) {
 #ifdef __linux__
   cpu_set_t set;
@@ -28,8 +31,19 @@ int ThreadTeam::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+std::uint64_t ThreadTeam::teams_constructed() {
+  return g_teams_constructed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ThreadTeam::workers_spawned() {
+  return g_workers_spawned.load(std::memory_order_relaxed);
+}
+
 ThreadTeam::ThreadTeam(int nthreads, bool pin) : nthreads_(nthreads) {
   assert(nthreads >= 1);
+  g_teams_constructed.fetch_add(1, std::memory_order_relaxed);
+  g_workers_spawned.fetch_add(static_cast<std::uint64_t>(nthreads_ - 1),
+                              std::memory_order_relaxed);
   if (pin) pin_to_core(0);
   workers_.reserve(nthreads_ - 1);
   for (int t = 1; t < nthreads_; ++t)

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -34,6 +35,15 @@ class ThreadTeam {
   void parallel_for(int n, const std::function<void(int)>& fn);
 
   static int hardware_threads();
+
+  /// Process-wide count of ThreadTeam constructions.  Lets the session /
+  /// batching tests assert "threads were spawned once per session" by
+  /// counting spawn events instead of timing them.
+  static std::uint64_t teams_constructed();
+
+  /// Process-wide count of worker threads ever spawned (excludes the
+  /// calling thread, which participates as tid 0 without a spawn).
+  static std::uint64_t workers_spawned();
 
  private:
   void worker_loop(int tid, bool pin);

@@ -1,0 +1,258 @@
+// batch_test.cpp — the session / batched-multi-solve contract.
+//
+// The solver-service layer promises two things (ISSUE 5 acceptance):
+//  1. Bit-identity: N jobs run back-to-back through one persistent
+//     sched::Session produce exactly the factors, pivots, and solutions
+//     of N one-shot calls — across every registered engine and both
+//     pack_panels modes (the engine-matrix style, extended to sessions).
+//  2. Amortization: threads are spawned once per session, asserted by
+//     counting ThreadTeam constructions (never by timing).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/batch.h"
+#include "src/core/calu.h"
+#include "src/core/cholesky.h"
+#include "src/core/incpiv.h"
+#include "src/core/solve.h"
+#include "src/layout/matrix.h"
+#include "src/layout/packed.h"
+#include "src/sched/engine_registry.h"
+#include "src/sched/session.h"
+#include "src/sched/thread_team.h"
+#include "tests/test_util.h"
+
+namespace calu {
+namespace {
+
+using core::Options;
+using layout::Matrix;
+
+Options batch_options(const std::string& engine, bool pack) {
+  Options o;
+  o.b = 16;
+  o.threads = 4;
+  o.pack_panels = pack;
+  o.pin_threads = false;
+  o.engine = engine;
+  // Pin the grid: the TSLU tournament shape follows the grid, and the
+  // bit-identity under test is session-vs-one-shot, not grid choice.
+  o.pr = 2;
+  o.pc = 2;
+  return o;
+}
+
+/// Mixed-size job set: two squares, one tall-skinny (edge tiles included).
+std::vector<Matrix> mixed_jobs(std::uint64_t seed) {
+  std::vector<Matrix> jobs;
+  jobs.push_back(Matrix::random(96, 96, seed));
+  jobs.push_back(Matrix::random(64, 64, seed + 1));
+  jobs.push_back(Matrix::random(120, 56, seed + 2));
+  return jobs;
+}
+
+// -------------------------------------------------------- bit-identity ---
+
+TEST(BatchedFactor, BitIdenticalToOneShotAcrossEnginesAndPackModes) {
+  for (const std::string& engine : sched::engine_names())
+    for (bool pack : {true, false}) {
+      SCOPED_TRACE(engine + " pack=" + std::to_string(pack));
+      const Options opt = batch_options(engine, pack);
+
+      std::vector<Matrix> ref = mixed_jobs(1201);
+      std::vector<core::Factorization> ref_f;
+      for (Matrix& a : ref) ref_f.push_back(core::getrf(a, opt));
+
+      std::vector<Matrix> batch = mixed_jobs(1201);
+      sched::Session session(sched::SessionOptions{4, false});
+      core::BatchFactorResult res =
+          core::batched_factor(batch, opt, session);
+
+      ASSERT_EQ(res.jobs.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        EXPECT_EQ(res.jobs[i].ipiv, ref_f[i].ipiv);
+        EXPECT_EQ(test::max_abs_diff(batch[i], ref[i]), 0.0);
+      }
+      EXPECT_EQ(res.stats.dag_runs, ref.size());
+    }
+}
+
+TEST(BatchedGesv, BitIdenticalToOneShotAcrossEngines) {
+  std::vector<Matrix> as;
+  as.push_back(Matrix::random(96, 96, 1301));
+  as.push_back(Matrix::random(48, 48, 1302));
+  as.push_back(Matrix::random(112, 112, 1303));
+  std::vector<Matrix> bs;
+  bs.push_back(Matrix::random(96, 2, 1304));
+  bs.push_back(Matrix::random(48, 1, 1305));
+  bs.push_back(Matrix::random(112, 3, 1306));
+
+  for (const std::string& engine : sched::engine_names()) {
+    SCOPED_TRACE(engine);
+    const Options opt = batch_options(engine, true);
+
+    std::vector<core::SolveResult> ref;
+    for (std::size_t i = 0; i < as.size(); ++i)
+      ref.push_back(core::gesv(as[i], bs[i], opt, 2));
+
+    sched::Session session(sched::SessionOptions{4, false});
+    core::BatchSolveResult res =
+        core::batched_gesv(as, bs, opt, session, 2);
+
+    ASSERT_EQ(res.jobs.size(), as.size());
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      SCOPED_TRACE("job " + std::to_string(i));
+      EXPECT_EQ(test::max_abs_diff(res.jobs[i].x, ref[i].x), 0.0);
+      EXPECT_EQ(res.jobs[i].refine_steps, ref[i].refine_steps);
+      EXPECT_LT(res.jobs[i].residual, 1e-13);
+    }
+  }
+}
+
+TEST(Session, CholeskyBitIdenticalToOneShot) {
+  const Options opt = batch_options("hybrid", true);
+  Matrix a0 = core::spd_matrix(112, 1401);
+
+  Matrix l_ref = a0;
+  core::potrf(l_ref, opt);
+
+  sched::Session session(sched::SessionOptions{4, false});
+  Matrix l1 = a0, l2 = a0;
+  core::potrf(l1, opt, session);
+  core::potrf(l2, opt, session);  // second run on the same warm team
+  EXPECT_EQ(test::max_abs_diff(l1, l_ref), 0.0);
+  EXPECT_EQ(test::max_abs_diff(l2, l_ref), 0.0);
+  EXPECT_EQ(session.runs(), 2u);
+}
+
+TEST(Session, IncpivBitIdenticalToOneShot) {
+  const int n = 96, b = 16;
+  const Options opt = batch_options("hybrid", true);
+  const Matrix a0 = Matrix::random(n, n, 1501);
+  const Matrix rhs0 = Matrix::random(n, 2, 1502);
+
+  layout::PackedMatrix p_ref = layout::PackedMatrix::pack(
+      a0, layout::Layout::TwoLevelBlock, b, layout::Grid{2, 2});
+  sched::ThreadTeam team_ref(4, false);
+  core::IncpivFactor f_ref = core::getrf_incpiv(p_ref, opt, team_ref);
+  Matrix x_ref = rhs0;
+  f_ref.solve(x_ref);
+
+  layout::PackedMatrix p = layout::PackedMatrix::pack(
+      a0, layout::Layout::TwoLevelBlock, b, layout::Grid{2, 2});
+  sched::Session session(sched::SessionOptions{4, false});
+  core::IncpivFactor f = core::getrf_incpiv(p, opt, session);
+  Matrix x = rhs0;
+  f.solve(x);
+
+  Matrix lu_ref(n, n), lu(n, n);
+  p_ref.unpack(lu_ref);
+  p.unpack(lu);
+  EXPECT_EQ(test::max_abs_diff(lu, lu_ref), 0.0);
+  EXPECT_EQ(test::max_abs_diff(x, x_ref), 0.0);
+}
+
+// --------------------------------------------------- spawn accounting ---
+
+TEST(Session, ThreadsSpawnOncePerSession) {
+  std::vector<Matrix> as;
+  as.push_back(Matrix::random(64, 64, 1601));
+  as.push_back(Matrix::random(80, 80, 1602));
+  as.push_back(Matrix::random(48, 48, 1603));
+  std::vector<Matrix> bs;
+  bs.push_back(Matrix::random(64, 1, 1604));
+  bs.push_back(Matrix::random(80, 1, 1605));
+  bs.push_back(Matrix::random(48, 1, 1606));
+  const Options opt = batch_options("hybrid", true);
+
+  // Batched on one session: exactly one team construction (the session's),
+  // exactly threads-1 worker spawns, no matter how many jobs run.
+  const std::uint64_t teams0 = sched::ThreadTeam::teams_constructed();
+  const std::uint64_t workers0 = sched::ThreadTeam::workers_spawned();
+  {
+    sched::Session session(sched::SessionOptions{4, false});
+    core::BatchSolveResult res =
+        core::batched_gesv(as, bs, opt, session, 2);
+    EXPECT_EQ(res.jobs.size(), 3u);
+    EXPECT_EQ(session.runs(), 3u);
+  }
+  EXPECT_EQ(sched::ThreadTeam::teams_constructed(), teams0 + 1);
+  EXPECT_EQ(sched::ThreadTeam::workers_spawned(), workers0 + 3);
+
+  // One-shot calls pay the spawn per job: one team construction each.
+  const std::uint64_t teams1 = sched::ThreadTeam::teams_constructed();
+  for (std::size_t i = 0; i < as.size(); ++i)
+    core::gesv(as[i], bs[i], opt, 2);
+  EXPECT_EQ(sched::ThreadTeam::teams_constructed(),
+            teams1 + static_cast<std::uint64_t>(as.size()));
+}
+
+TEST(Session, BorrowedTeamSpawnsNothing) {
+  sched::ThreadTeam team(2, false);
+  const std::uint64_t teams0 = sched::ThreadTeam::teams_constructed();
+  sched::Session session(team);
+  Matrix a = Matrix::random(64, 64, 1701);
+  core::getrf(a, batch_options("hybrid", true), session);
+  EXPECT_EQ(sched::ThreadTeam::teams_constructed(), teams0);
+  EXPECT_EQ(session.threads(), 2);
+}
+
+// ------------------------------------------------------ session state ---
+
+TEST(Session, EngineInstancesAreCachedByName) {
+  sched::Session session(sched::SessionOptions{1, false});
+  sched::Engine& e1 = session.engine("work-stealing");
+  sched::Engine& e2 = session.engine("work-stealing");
+  EXPECT_EQ(&e1, &e2);
+  EXPECT_EQ(e1.name(), "work-stealing");
+  // Unknown names degrade to hybrid (make_engine_or_default semantics),
+  // and the fallback instance is cached under the requested name.
+  sched::Engine& u1 = session.engine("batch-test-unknown-engine");
+  sched::Engine& u2 = session.engine("batch-test-unknown-engine");
+  EXPECT_EQ(&u1, &u2);
+  EXPECT_EQ(u1.name(), "hybrid");
+}
+
+TEST(Session, TotalsAccumulateAcrossRuns) {
+  sched::Session session(sched::SessionOptions{4, false});
+  const Options opt = batch_options("hybrid", true);
+  std::uint64_t tasks = 0;
+  for (std::uint64_t r = 1; r <= 3; ++r) {
+    Matrix a = Matrix::random(64, 64, 1800 + r);
+    core::Factorization f = core::getrf(a, opt, session);
+    tasks += static_cast<std::uint64_t>(f.stats.tasks);
+    EXPECT_EQ(session.runs(), r);
+  }
+  const sched::EngineStats& tot = session.totals();
+  // Every task of every DAG was served exactly once, from some queue.
+  EXPECT_EQ(tot.static_pops + tot.dynamic_pops + tot.steals, tasks);
+}
+
+TEST(Session, MixedWorkloadSharesOneTeam) {
+  // CALU + Cholesky + incpiv back-to-back on the same session: the
+  // whole mixed workload runs on one team and the DAG-run counter sees
+  // all three.
+  const std::uint64_t teams0 = sched::ThreadTeam::teams_constructed();
+  sched::Session session(sched::SessionOptions{4, false});
+  const Options opt = batch_options("hybrid", true);
+
+  Matrix a = Matrix::random(96, 96, 1901);
+  core::getrf(a, opt, session);
+
+  Matrix spd = core::spd_matrix(64, 1902);
+  core::potrf(spd, opt, session);
+
+  const Matrix a0 = Matrix::random(64, 64, 1903);
+  layout::PackedMatrix p = layout::PackedMatrix::pack(
+      a0, layout::Layout::TwoLevelBlock, 16, layout::Grid{2, 2});
+  core::getrf_incpiv(p, opt, session);
+
+  EXPECT_EQ(session.runs(), 3u);
+  EXPECT_EQ(sched::ThreadTeam::teams_constructed(), teams0 + 1);
+}
+
+}  // namespace
+}  // namespace calu

@@ -664,6 +664,40 @@ TEST(EngineRegistry, UnknownNameFallsBackToHybrid) {
   EXPECT_EQ(eng->name(), "hybrid");
 }
 
+TEST(EngineRegistry, UnknownNameWarnsOnceNamingEngineAndFallback) {
+  // The fallback sits on per-factorization paths (every job of a batch
+  // resolves its engine), so the warning must fire once per distinct
+  // unknown name — naming both the typo and the fallback — and then go
+  // quiet instead of spamming stderr for the rest of the batch.  The
+  // warned-set is process-global, so probe names are freshly generated
+  // per invocation (--gtest_repeat must not see already-warned names).
+  static std::atomic<int> invocation{0};
+  const std::string probe =
+      "warn-once-probe-" + std::to_string(invocation.fetch_add(1));
+  ::testing::internal::CaptureStderr();
+  auto e1 = sched::make_engine_or_default(probe);
+  const std::string first = ::testing::internal::GetCapturedStderr();
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->name(), "hybrid");
+  EXPECT_NE(first.find(probe), std::string::npos) << first;
+  EXPECT_NE(first.find("hybrid"), std::string::npos) << first;
+
+  ::testing::internal::CaptureStderr();
+  auto e2 = sched::make_engine_or_default(probe);
+  const std::string second = ::testing::internal::GetCapturedStderr();
+  ASSERT_NE(e2, nullptr);
+  EXPECT_EQ(e2->name(), "hybrid");
+  EXPECT_TRUE(second.empty()) << "repeat warning: " << second;
+
+  // A *different* unknown name still gets its own (single) warning.
+  const std::string probe2 = probe + "-distinct";
+  ::testing::internal::CaptureStderr();
+  auto e3 = sched::make_engine_or_default(probe2);
+  const std::string third = ::testing::internal::GetCapturedStderr();
+  ASSERT_NE(e3, nullptr);
+  EXPECT_NE(third.find(probe2), std::string::npos) << third;
+}
+
 // A user-registered engine is first-class: it resolves by name and runs.
 // (It delegates to hybrid so the every-registered-engine DAG test below
 // stays meaningful if it executes after this one.)

@@ -91,6 +91,58 @@ TEST(Gesv, IllConditionedStillBackwardStable) {
   EXPECT_LT(res.residual, 1e-10);
 }
 
+TEST(Gesv, ZeroRhsGivesExactZeroWithoutRefinement) {
+  // b = 0 ⇒ x = 0 exactly (swaps and triangular solves of zeros stay
+  // zero), the residual is 0/0-guarded to 0, and refinement never runs.
+  const int n = 48;
+  Matrix a = Matrix::random(n, n, 314);
+  Matrix b(n, 2);  // zeros
+  auto res = core::gesv(a, b, small_opts(), 3);
+  EXPECT_EQ(res.refine_steps, 0);
+  EXPECT_EQ(res.residual, 0.0);
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_EQ(res.x(i, j), 0.0);
+}
+
+TEST(Gesv, MaxRefineZeroSkipsRefinementButStillSolves) {
+  const int n = 96;
+  Matrix a = Matrix::random(n, n, 315);
+  Matrix b = Matrix::random(n, 1, 316);
+  auto res = core::gesv(a, b, small_opts(), /*max_refine=*/0);
+  EXPECT_EQ(res.refine_steps, 0);
+  EXPECT_LT(res.residual, 1e-12);  // GEPP-class accuracy without refinement
+}
+
+TEST(Gesv, SingularPivotDoesNotCrashOrClaimConvergence) {
+  // All columns equal: after the first elimination step the trailing
+  // matrix is exactly zero (subtraction of equal values is exact), so
+  // the factorization hits exact zero pivots and the triangular solve
+  // divides by zero, poisoning x with inf/NaN.  The contract is
+  // IEEE-graceful degradation: no crash, no hang, refinement runs to its
+  // cap, and the reported residual is NaN — never a tiny value claiming
+  // convergence (max-based norms skip NaN compares, which used to make
+  // exactly this case report residual 0).
+  const int n = 48;
+  Matrix a(n, n);
+  const Matrix v = Matrix::random(n, 1, 317);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = v(i, 0);
+  Matrix b = Matrix::random(n, 1, 318);
+  auto res = core::gesv(a, b, small_opts(), 2);
+  EXPECT_TRUE(std::isnan(res.residual));
+  EXPECT_FALSE(res.residual < 1e-12);  // the convergence test must fail
+  EXPECT_EQ(res.refine_steps, 2);
+}
+
+TEST(Gesv, ZeroMatrixReportsNaNResidual) {
+  const int n = 32;
+  Matrix a(n, n);  // zeros: every pivot is zero
+  Matrix b = Matrix::random(n, 1, 319);
+  auto res = core::gesv(a, b, small_opts(), 1);
+  EXPECT_TRUE(std::isnan(res.residual));
+  EXPECT_EQ(res.refine_steps, 1);
+}
+
 TEST(Gesv, WorksAcrossSchedulesAndLayouts) {
   const int n = 96;
   Matrix a = Matrix::random(n, n, 312);

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's Markdown files.
+
+Scans every tracked *.md file for inline Markdown links ``[text](target)``
+and verifies that relative targets exist on disk (anchors stripped).
+External schemes (http/https/mailto) and pure in-page anchors are
+skipped.  CI runs this so documentation cannot silently rot as files
+move; run locally with:
+
+    python3 tools/check_md_links.py
+"""
+import os
+import re
+import subprocess
+import sys
+
+# Inline links/images. [] may contain nested [] one level deep (e.g.
+# footnote-style text); the target stops at the first ')' or whitespace
+# (titles after the URL are not used in this repo).
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"],
+        cwd=root, check=True, capture_output=True, text=True)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def strip_code(text):
+    """Remove fenced and inline code spans — links inside them are
+    illustrative, not navigable."""
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = md_files(root)
+    broken = []
+    for rel in files:
+        path = os.path.join(root, rel)
+        with open(path, encoding="utf-8") as f:
+            text = strip_code(f.read())
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            dest = os.path.normpath(
+                os.path.join(os.path.dirname(path),
+                             target.split("#", 1)[0]))
+            if not os.path.exists(dest):
+                broken.append(f"{rel}: [{target}] -> {dest}")
+    if broken:
+        print("broken relative links:", file=sys.stderr)
+        for b in broken:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown files: links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
