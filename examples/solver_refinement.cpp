@@ -84,7 +84,8 @@ int main(int argc, char** argv) {
   opt.b = 16;
   opt.threads = threads;
   for (int steps : {0, 1, 3}) {
-    auto res = core::gesv(h, hb, opt, steps);
+    opt.max_refine = steps;
+    auto res = core::gesv(h, hb, opt);
     std::printf("  refinement steps <= %d: residual %.2e (used %d)\n", steps,
                 res.residual, res.refine_steps);
   }

@@ -2,6 +2,10 @@
 
 #include <cassert>
 #include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace calu::core {
 namespace {
@@ -22,20 +26,161 @@ void finish_stats(BatchStats& st, const sched::Session& session,
       st.seconds > 0.0 ? static_cast<double>(njobs) / st.seconds : 0.0;
 }
 
+/// Sequential mode: one engine run per job, submission order — exactly
+/// the per-job getrf/gesv drivers back-to-back on the session.
+BatchRunResult run_sequential(std::vector<BatchJob>& jobs,
+                              sched::Session& session) {
+  BatchRunResult res;
+  res.jobs.resize(jobs.size());
+  res.completion_order.reserve(jobs.size());
+  const std::uint64_t runs_before = session.runs();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    BatchJob& job = jobs[i];
+    assert(job.a != nullptr);
+    BatchJobResult& out = res.jobs[i];
+    if (job.rhs != nullptr) {
+      SolveResult sr = gesv(*job.a, *job.rhs, job.options, session);
+      out.factorization = std::move(sr.factorization);
+      out.x = std::move(sr.x);
+      out.refine_steps = sr.refine_steps;
+      out.residual = sr.residual;
+    } else {
+      out.factorization = getrf(*job.a, job.options, session);
+    }
+    res.stats.engine.merge(out.factorization.stats.engine);
+    out.completed_at = seconds_since(t0);
+    res.completion_order.push_back(static_cast<int>(i));
+    if (job.on_complete) job.on_complete(static_cast<int>(i));
+  }
+  finish_stats(res.stats, session, runs_before, t0, jobs.size());
+  return res;
+}
+
+/// Fused mode: prepare every job through the same GetrfJob seam getrf
+/// uses, merge all graphs into one engine run via Session::run_fused,
+/// then run each job's epilogue (left swaps, unpack, solve + refinement).
+BatchRunResult run_fused(std::vector<BatchJob>& jobs,
+                         sched::Session& session) {
+  BatchRunResult res;
+  res.jobs.resize(jobs.size());
+  const std::uint64_t runs_before = session.runs();
+  const auto t0 = std::chrono::steady_clock::now();
+  if (jobs.empty()) {
+    finish_stats(res.stats, session, runs_before, t0, 0);
+    return res;
+  }
+
+  // One engine executes the fused graph: a job set that names two engines
+  // has no faithful fused schedule, and silently picking one would betray
+  // whichever job asked for the other (the make_engine_or_default "warn
+  // and degrade" move is wrong here).  Reject loudly instead.
+  const std::string engine = jobs[0].options.resolved_engine();
+  for (const BatchJob& job : jobs)
+    if (job.options.resolved_engine() != engine)
+      throw std::invalid_argument(
+          "batched_run(BatchMode::Fused): jobs disagree on the engine (\"" +
+          engine + "\" vs \"" + job.options.resolved_engine() +
+          "\"); align Options::engine/schedule across jobs or use "
+          "BatchMode::Sequential");
+
+  // Prepare: per-job pack + plan with that job's own Options.  Reserve up
+  // front — GetrfJob keeps a reference to its PackedMatrix element.
+  const std::size_t n = jobs.size();
+  std::vector<layout::Matrix> lu(n);  // rhs jobs factor a copy, gesv-style
+  std::vector<layout::PackedMatrix> packed;
+  packed.reserve(n);
+  std::vector<GetrfJob> prepared;
+  prepared.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BatchJob& job = jobs[i];
+    assert(job.a != nullptr);
+    layout::Matrix* src = job.a;
+    if (job.rhs != nullptr) {
+      assert(job.a->rows() == job.a->cols() &&
+             job.a->rows() == job.rhs->rows());
+      lu[i] = *job.a;
+      src = &lu[i];
+    }
+    const Options& o = job.options;
+    packed.push_back(layout::PackedMatrix::pack(*src, o.layout, o.b,
+                                                o.resolved_grid()));
+    prepared.emplace_back(packed.back(), o);
+  }
+
+  std::vector<sched::FusedJob> fused(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fused[i].graph = &prepared[i].graph();
+    fused[i].exec = [&prepared, i](int id, int tid) {
+      prepared[i].exec(id, tid);
+    };
+    fused[i].on_complete = jobs[i].on_complete;
+  }
+
+  std::unique_ptr<noise::Injector> injector;
+  sched::RunHooks hooks =
+      run_hooks_from(jobs[0].options, session.threads(), injector);
+  sched::FusedRunResult fr = session.run_fused(fused, hooks, engine);
+
+  // Epilogue, per job: deferred left swaps, unpack, and for rhs jobs the
+  // same solve_factored() refinement gesv runs — bit-identity with the
+  // sequential path is shared code, not a re-implementation.
+  for (std::size_t i = 0; i < n; ++i) {
+    BatchJob& job = jobs[i];
+    BatchJobResult& out = res.jobs[i];
+    out.factorization = prepared[i].finish(session.team());
+    out.factorization.stats.engine.static_pops = fr.jobs[i].static_pops;
+    out.factorization.stats.engine.dynamic_pops = fr.jobs[i].dynamic_pops;
+    out.factorization.stats.engine.elapsed = fr.jobs[i].completed_at;
+    out.factorization.stats.factor_seconds = fr.jobs[i].completed_at;
+    out.completed_at = fr.jobs[i].completed_at;
+    if (job.rhs != nullptr) {
+      packed[i].unpack(lu[i]);
+      SolveResult sr;
+      solve_factored(*job.a, *job.rhs, lu[i], out.factorization.ipiv,
+                     job.options.max_refine, sr);
+      out.x = std::move(sr.x);
+      out.refine_steps = sr.refine_steps;
+      out.residual = sr.residual;
+    } else {
+      packed[i].unpack(*job.a);
+    }
+  }
+
+  res.completion_order = std::move(fr.completion_order);
+  res.stats.engine = fr.engine;
+  finish_stats(res.stats, session, runs_before, t0, n);
+  return res;
+}
+
 }  // namespace
+
+BatchRunResult batched_run(std::vector<BatchJob>& jobs,
+                           sched::Session& session, BatchMode mode) {
+  return mode == BatchMode::Fused ? run_fused(jobs, session)
+                                  : run_sequential(jobs, session);
+}
+
+BatchRunResult batched_run(std::vector<BatchJob>& jobs, BatchMode mode) {
+  sched::Session ephemeral(session_options_from(
+      jobs.empty() ? Options{} : jobs.front().options));
+  return batched_run(jobs, ephemeral, mode);
+}
 
 BatchFactorResult batched_factor(util::Span<layout::Matrix> as,
                                  const Options& opt,
                                  sched::Session& session) {
-  BatchFactorResult res;
-  res.jobs.reserve(as.size());
-  const std::uint64_t runs_before = session.runs();
-  const auto t0 = std::chrono::steady_clock::now();
-  for (layout::Matrix& a : as) {
-    res.jobs.push_back(getrf(a, opt, session));
-    res.stats.engine.merge(res.jobs.back().stats.engine);
+  std::vector<BatchJob> jobs(as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    jobs[i].a = &as[i];
+    jobs[i].options = opt;
   }
-  finish_stats(res.stats, session, runs_before, t0, as.size());
+  BatchRunResult run = batched_run(jobs, session, BatchMode::Sequential);
+  BatchFactorResult res;
+  res.stats = run.stats;
+  res.jobs.reserve(run.jobs.size());
+  for (BatchJobResult& j : run.jobs)
+    res.jobs.push_back(std::move(j.factorization));
   return res;
 }
 
@@ -47,26 +192,51 @@ BatchFactorResult batched_factor(util::Span<layout::Matrix> as,
 
 BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
                               util::Span<const layout::Matrix> bs,
-                              const Options& opt, sched::Session& session,
-                              int max_refine) {
+                              const Options& opt, sched::Session& session) {
   assert(as.size() == bs.size());
-  BatchSolveResult res;
-  res.jobs.reserve(as.size());
-  const std::uint64_t runs_before = session.runs();
-  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<BatchJob> jobs(as.size());
   for (std::size_t i = 0; i < as.size(); ++i) {
-    res.jobs.push_back(gesv(as[i], bs[i], opt, session, max_refine));
-    res.stats.engine.merge(res.jobs.back().factorization.stats.engine);
+    // rhs is set, so *a is never written (gesv semantics) — the
+    // const_cast only bridges the span's constness into the job type.
+    jobs[i].a = const_cast<layout::Matrix*>(&as[i]);
+    jobs[i].rhs = &bs[i];
+    jobs[i].options = opt;
   }
-  finish_stats(res.stats, session, runs_before, t0, as.size());
+  BatchRunResult run = batched_run(jobs, session, BatchMode::Sequential);
+  BatchSolveResult res;
+  res.stats = run.stats;
+  res.jobs.resize(run.jobs.size());
+  for (std::size_t i = 0; i < run.jobs.size(); ++i) {
+    res.jobs[i].x = std::move(run.jobs[i].x);
+    res.jobs[i].refine_steps = run.jobs[i].refine_steps;
+    res.jobs[i].residual = run.jobs[i].residual;
+    res.jobs[i].factorization = std::move(run.jobs[i].factorization);
+  }
   return res;
 }
 
 BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
                               util::Span<const layout::Matrix> bs,
-                              const Options& opt, int max_refine) {
+                              const Options& opt) {
   sched::Session ephemeral(session_options_from(opt));
-  return batched_gesv(as, bs, opt, ephemeral, max_refine);
+  return batched_gesv(as, bs, opt, ephemeral);
+}
+
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, sched::Session& session,
+                              int max_refine) {
+  Options o = opt;
+  o.max_refine = max_refine;
+  return batched_gesv(as, bs, o, session);
+}
+
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, int max_refine) {
+  Options o = opt;
+  o.max_refine = max_refine;
+  return batched_gesv(as, bs, o);
 }
 
 }  // namespace calu::core

@@ -1,19 +1,28 @@
-// batch.h — batched multi-solve on a persistent session: submit N
-// independent factorize(+solve) jobs and run them back-to-back on one
-// pinned thread team.
+// batch.h — job-centric batched multi-solve: submit N independent
+// factorize(+solve) jobs as one vector of BatchJob values and run them
+// through one persistent session, either FUSED into a single engine run
+// or sequentially.
 //
 // Small-matrix and many-RHS traffic (the LU-QR-hybrid batching regime,
 // arXiv:1401.5522) is dominated by per-call overhead — thread spawn,
-// engine construction, plan allocation — not flops.  The batch layer
-// amortizes all of it: one sched::Session serves every job, round-robin
-// across whole-DAG runs.  Each job executes exactly the DAG its one-shot
-// driver would run with the same Options, so per-job results are
-// bit-identical to N separate calls (tests/batch_test.cpp holds that
-// across every registered engine), and threads are spawned once per
-// session (ThreadTeam::teams_constructed() counts, no timing).
-// bench/batch_throughput.cpp measures the amortization (BENCH_batch.json).
+// engine construction, plan allocation — not flops.  PR 5 amortized the
+// spawn (one sched::Session serves every job); the fused mode goes
+// further and amortizes the *scheduling*: every job's task graph is
+// merged into one fused DAG (sched::Session::run_fused) executed by a
+// single engine run, so engines steal across jobs and one job's DAG tail
+// overlaps the next job's panel work instead of draining to a barrier.
+//
+// Fusion is purely a scheduling change: each job executes exactly the
+// task bodies its one-shot driver would run with the same Options
+// (prepared through the same core::GetrfJob seam getrf uses), so per-job
+// results are bit-identical across Fused / Sequential / one-shot for
+// every registered engine — tests/batch_test.cpp holds that matrix,
+// including under the TSan stress lane.  bench/batch_throughput.cpp
+// measures both modes (BENCH_batch.json, with open-loop latency
+// percentiles).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "src/core/calu.h"
@@ -23,14 +32,95 @@
 
 namespace calu::core {
 
+/// One unit of batched work: a matrix, an optional right-hand side, the
+/// job's own Options, and an optional completion callback.
+///
+///  - Without `rhs`: *a is factored IN PLACE (LAPACK combined [L\U],
+///    getrf semantics).
+///  - With `rhs`: gesv semantics — *a is left untouched, the result
+///    carries x / refine_steps / residual, refinement capped at
+///    options.max_refine.
+///
+/// Options are per job (tile size, grid, layout, pack_panels, dratio,
+/// max_refine ... may all differ), with one constraint in fused mode:
+/// every job must resolve to the same engine, because a single engine
+/// executes the fused graph (batched_run throws std::invalid_argument
+/// otherwise).
+///
+/// `on_complete(job_index)` fires when the job's last DAG task retires.
+/// In fused mode that happens on a worker thread while other jobs may
+/// still be executing — treat it as a scheduling-progress signal (the
+/// solve/unpack epilogue runs afterwards; full results are available when
+/// batched_run returns).  Sequential mode fires it on the caller thread
+/// after the job's DAG run.
+struct BatchJob {
+  layout::Matrix* a = nullptr;
+  const layout::Matrix* rhs = nullptr;
+  Options options;
+  std::function<void(int job)> on_complete;
+};
+
+/// How batched_run executes the job set.
+enum class BatchMode {
+  /// Merge every job's task graph into ONE fused DAG executed by a single
+  /// engine run (sched::Session::run_fused): inter-job parallelism, no
+  /// per-job barrier.  Per-job results are bit-identical to Sequential.
+  Fused,
+  /// One engine run per job, submission order — the PR-5 behavior and the
+  /// baseline the fusion is benchmarked against.
+  Sequential,
+};
+
 /// Counters aggregated across one batch submission.
 struct BatchStats {
-  /// Engine counters merged across every job's DAG run(s).
+  /// Engine counters: the single fused run's, or merged across the
+  /// per-job runs in sequential mode.
   sched::EngineStats engine;
-  std::uint64_t dag_runs = 0;  ///< DAGs executed for this batch
+  std::uint64_t dag_runs = 0;  ///< engine runs for this batch (fused: 1)
   double seconds = 0.0;        ///< wall time for the whole batch
   double jobs_per_second = 0.0;
 };
+
+/// Per-job outcome of batched_run, input order.
+struct BatchJobResult {
+  /// Pivots + stats.  In fused mode the per-job engine counters carry the
+  /// attribution split out of the fused run (this job's static/dynamic
+  /// pops; elapsed and factor_seconds hold the job's completion latency
+  /// within the run), and gflops is left 0 — exclusive per-job compute
+  /// time does not exist inside a fused run.
+  Factorization factorization;
+  layout::Matrix x;           ///< solution, for jobs submitted with an rhs
+  int refine_steps = 0;       ///< refinement steps taken (rhs jobs)
+  double residual = 0.0;      ///< final normalized residual (rhs jobs)
+  /// Seconds from batch start to this job's completion (open-loop
+  /// latency: DAG retirement in fused mode, job return in sequential).
+  double completed_at = 0.0;
+};
+
+struct BatchRunResult {
+  std::vector<BatchJobResult> jobs;   ///< per-job results, input order
+  std::vector<int> completion_order;  ///< job indices, completion order
+  BatchStats stats;
+};
+
+/// Runs a batch of factor / factor+solve jobs through one session.
+/// Matrices (and rhs) must outlive the call.  Fused mode rejects job sets
+/// that disagree on the engine with std::invalid_argument; observability
+/// hooks (recorder, noise, ws_seed, lookahead_depth) for the fused run
+/// are taken from the first job's Options.
+BatchRunResult batched_run(std::vector<BatchJob>& jobs,
+                           sched::Session& session,
+                           BatchMode mode = BatchMode::Fused);
+
+/// One-shot convenience: ephemeral session for the whole batch, sized and
+/// pinned from the first job's Options.
+BatchRunResult batched_run(std::vector<BatchJob>& jobs,
+                           BatchMode mode = BatchMode::Fused);
+
+// ---------------------------------------------------------------------
+// Pre-BatchJob surface, kept as thin wrappers that build the job vector
+// and run it in Sequential mode (preserving their one-engine-run-per-job
+// observable behavior).  New code should submit BatchJobs.
 
 struct BatchFactorResult {
   std::vector<Factorization> jobs;  ///< per-job results, input order
@@ -56,17 +146,30 @@ BatchFactorResult batched_factor(util::Span<layout::Matrix> as,
                                  const Options& opt);
 
 /// Factor + solve N independent systems A[i] x = b[i] with up to
-/// `max_refine` refinement steps each, through one session.  as[i] must
+/// opt.max_refine refinement steps each, through one session.  as[i] must
 /// be square with as[i].rows() == bs[i].rows(); sizes may differ across
 /// jobs.
 BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
                               util::Span<const layout::Matrix> bs,
-                              const Options& opt, sched::Session& session,
-                              int max_refine = 2);
+                              const Options& opt, sched::Session& session);
 
 /// One-shot convenience: ephemeral session for the whole batch.
 BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
                               util::Span<const layout::Matrix> bs,
-                              const Options& opt, int max_refine = 2);
+                              const Options& opt);
+
+// Deprecated trailing-parameter overloads: max_refine lives in
+// Options::max_refine now.  Thin wrappers kept so pre-existing call sites
+// keep compiling unchanged.
+[[deprecated("set Options::max_refine instead of the trailing parameter")]]
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, sched::Session& session,
+                              int max_refine);
+
+[[deprecated("set Options::max_refine instead of the trailing parameter")]]
+BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
+                              util::Span<const layout::Matrix> bs,
+                              const Options& opt, int max_refine);
 
 }  // namespace calu::core

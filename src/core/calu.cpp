@@ -346,39 +346,70 @@ sched::RunHooks run_hooks_from(const Options& opt, int team_size,
   return hooks;
 }
 
+struct GetrfJob::Impl {
+  CaluPlan plan;
+  Runtime rt;  // holds a reference to `plan`; member order matters
+  double plan_seconds = 0.0;
+  double flops = 0.0;
+
+  Impl(layout::PackedMatrix& a, const Options& opt)
+      : plan(build_plan(a.tiling(), a.grid(), a.layout(),
+                        opt.resolved_dratio(), opt.group_factor,
+                        opt.pack_panels)),
+        rt(a, plan) {}
+};
+
+GetrfJob::GetrfJob(layout::PackedMatrix& a, const Options& opt) {
+  assert(a.tiling().b == opt.b);
+  const auto t0 = std::chrono::steady_clock::now();
+  impl_ = std::make_unique<Impl>(a, opt);
+  impl_->plan_seconds = seconds_since(t0);
+  impl_->flops = model::lu_flops(a.tiling().m, a.tiling().n);
+}
+
+GetrfJob::~GetrfJob() = default;
+GetrfJob::GetrfJob(GetrfJob&&) noexcept = default;
+GetrfJob& GetrfJob::operator=(GetrfJob&&) noexcept = default;
+
+const sched::TaskGraph& GetrfJob::graph() const { return impl_->plan.graph; }
+
+void GetrfJob::exec(int id, int tid) { impl_->rt.exec(id, tid); }
+
+double GetrfJob::plan_seconds() const { return impl_->plan_seconds; }
+
+double GetrfJob::flops() const { return impl_->flops; }
+
+Factorization GetrfJob::finish(sched::ThreadTeam& team) {
+  Factorization f;
+  impl_->rt.apply_left_swaps(team);
+  f.ipiv = impl_->rt.take_ipiv();
+  f.stats.plan_seconds = impl_->plan_seconds;
+  f.stats.tasks = impl_->plan.graph.num_tasks();
+  f.stats.npanels = impl_->plan.npanels;
+  f.stats.nstatic_panels = impl_->plan.nstatic;
+  f.stats.pack_tasks = impl_->rt.pack_tasks();
+  f.stats.s_operand_packs = impl_->rt.s_operand_packs();
+  return f;
+}
+
 Factorization getrf(layout::PackedMatrix& a, const Options& opt,
                     sched::Session& session) {
-  const layout::Tiling& tl = a.tiling();
-  assert(tl.b == opt.b);
-
-  Factorization f;
-  auto t0 = std::chrono::steady_clock::now();
-  CaluPlan plan = build_plan(tl, a.grid(), a.layout(), opt.resolved_dratio(),
-                             opt.group_factor, opt.pack_panels);
-  f.stats.plan_seconds = seconds_since(t0);
-  f.stats.tasks = plan.graph.num_tasks();
-  f.stats.npanels = plan.npanels;
-  f.stats.nstatic_panels = plan.nstatic;
-
-  Runtime rt(a, plan);
+  GetrfJob job(a, opt);
   std::unique_ptr<noise::Injector> injector;
   sched::RunHooks hooks = run_hooks_from(opt, session.threads(), injector);
 
-  auto exec = [&rt](int id, int tid) { rt.exec(id, tid); };
-  t0 = std::chrono::steady_clock::now();
-  f.stats.engine =
-      session.run(plan.graph, exec, hooks, opt.resolved_engine());
-  rt.apply_left_swaps(session.team());
+  auto exec = [&job](int id, int tid) { job.exec(id, tid); };
+  const auto t0 = std::chrono::steady_clock::now();
+  const sched::EngineStats engine_stats =
+      session.run(job.graph(), exec, hooks, opt.resolved_engine());
+  Factorization f = job.finish(session.team());
+  f.stats.engine = engine_stats;
   f.stats.factor_seconds = seconds_since(t0);
-  f.stats.pack_tasks = rt.pack_tasks();
-  f.stats.s_operand_packs = rt.s_operand_packs();
-  f.stats.gflops = model::gflops(model::lu_flops(tl.m, tl.n),
-                                 f.stats.factor_seconds);
+  f.stats.gflops = model::gflops(job.flops(), f.stats.factor_seconds);
   if (injector) {
     f.stats.noise_delta_max = injector->delta_max();
     f.stats.noise_delta_avg = injector->delta_avg();
   }
-  f.ipiv = rt.take_ipiv();
   return f;
 }
 

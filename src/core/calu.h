@@ -67,6 +67,11 @@ struct Options {
   /// panels of the completion frontier are promoted to the engine's
   /// shared urgent queue.  Other engines ignore it.
   int lookahead_depth = 4;
+  /// Iterative-refinement step cap for the solve drivers (gesv and the
+  /// batched solve paths).  Formerly a trailing parameter on every gesv
+  /// overload; folding it here lets per-job Options carry it through the
+  /// batch layer.  0 disables refinement.
+  int max_refine = 2;
 
   int resolved_threads() const;
   layout::Grid resolved_grid() const;
@@ -98,6 +103,44 @@ struct Factorization {
   /// ipiv[i], i ascending.  Length min(m, n).
   std::vector<int> ipiv;
   Stats stats;
+};
+
+/// A prepared CALU job: the plan and mutable runtime state of one
+/// factorization, with the task graph and task bodies exposed so the
+/// batch layer can fuse many jobs into a single engine run
+/// (sched::Session::run_fused, src/core/batch.cpp).  getrf() itself is
+/// implemented as prepare → run → finish over this class, so fused and
+/// sequential execution share every line of numerics and bit-identity
+/// between them holds by construction.
+class GetrfJob {
+ public:
+  /// Builds the plan and runtime for `a`, which must have been packed
+  /// with opt.b and opt.resolved_grid() and must outlive the job.
+  GetrfJob(layout::PackedMatrix& a, const Options& opt);
+  ~GetrfJob();
+  GetrfJob(GetrfJob&&) noexcept;
+  GetrfJob& operator=(GetrfJob&&) noexcept;
+
+  /// The job's finalized task graph.  Ids are job-local: when fused, the
+  /// session translates fused ids back before calling exec().
+  const sched::TaskGraph& graph() const;
+
+  /// Executes one task (job-local id).  Thread-safe under the engine's
+  /// dependency ordering, like any task body.
+  void exec(int id, int tid);
+
+  /// Applies the deferred left swaps and extracts pivots + plan/task/pack
+  /// stats.  Call exactly once, after every task of graph() executed.
+  /// Engine counters and wall-clock attribution belong to the caller that
+  /// ran the graph.
+  Factorization finish(sched::ThreadTeam& team);
+
+  double plan_seconds() const;
+  double flops() const;  ///< model LU flop count, for gflops attribution
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Factor a packed matrix in place on a caller-provided session: the

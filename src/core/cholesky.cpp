@@ -109,27 +109,27 @@ sched::TaskGraph build_chol_graph(const layout::Tiling& tl,
 
 }  // namespace
 
-Factorization potrf(layout::PackedMatrix& a, const Options& opt,
-                    sched::Session& session) {
-  const layout::Tiling& tl = a.tiling();
-  assert(tl.m == tl.n);
+struct PotrfJob::Impl {
+  layout::PackedMatrix& a;
+  sched::TaskGraph graph;
+  double plan_seconds = 0.0;
+  int nstatic = 0;
 
-  Factorization f;
-  auto t0 = std::chrono::steady_clock::now();
-  sched::TaskGraph g =
-      build_chol_graph(tl, a.grid(), opt.resolved_dratio());
-  f.stats.plan_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  f.stats.tasks = g.num_tasks();
-  f.stats.npanels = tl.mb();
-  f.stats.nstatic_panels = std::clamp(
-      static_cast<int>(std::floor(tl.mb() * (1.0 - opt.resolved_dratio()))),
-      0, tl.mb());
+  Impl(layout::PackedMatrix& m, const Options& opt) : a(m) {
+    const layout::Tiling& tl = a.tiling();
+    assert(tl.m == tl.n);
+    const auto t0 = std::chrono::steady_clock::now();
+    graph = build_chol_graph(tl, a.grid(), opt.resolved_dratio());
+    plan_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    nstatic = std::clamp(
+        static_cast<int>(std::floor(tl.mb() * (1.0 - opt.resolved_dratio()))),
+        0, tl.mb());
+  }
 
-  auto body = [&](int id, int tid) {
-    (void)tid;
-    const sched::Task& t = g.task(id);
+  void exec(int id) {
+    const sched::Task& t = graph.task(id);
     switch (t.kind) {
       case trace::Kind::P: {  // POTRF(k)
         BlockRef d = a.block(t.step, t.step);
@@ -163,17 +163,49 @@ Factorization potrf(layout::PackedMatrix& a, const Options& opt,
       default:
         assert(false);
     }
-  };
+  }
+};
 
+PotrfJob::PotrfJob(layout::PackedMatrix& a, const Options& opt)
+    : impl_(std::make_unique<Impl>(a, opt)) {}
+
+PotrfJob::~PotrfJob() = default;
+PotrfJob::PotrfJob(PotrfJob&&) noexcept = default;
+PotrfJob& PotrfJob::operator=(PotrfJob&&) noexcept = default;
+
+const sched::TaskGraph& PotrfJob::graph() const { return impl_->graph; }
+
+void PotrfJob::exec(int id, int tid) {
+  (void)tid;
+  impl_->exec(id);
+}
+
+Factorization PotrfJob::finish() {
+  Factorization f;
+  f.stats.plan_seconds = impl_->plan_seconds;
+  f.stats.tasks = impl_->graph.num_tasks();
+  f.stats.npanels = impl_->a.tiling().mb();
+  f.stats.nstatic_panels = impl_->nstatic;
+  return f;
+}
+
+Factorization potrf(layout::PackedMatrix& a, const Options& opt,
+                    sched::Session& session) {
+  PotrfJob job(a, opt);
   std::unique_ptr<noise::Injector> injector;
   sched::RunHooks hooks = run_hooks_from(opt, session.threads(), injector);
 
-  t0 = std::chrono::steady_clock::now();
-  f.stats.engine = session.run(g, body, hooks, opt.resolved_engine());
+  auto body = [&job](int id, int tid) { job.exec(id, tid); };
+  const auto t0 = std::chrono::steady_clock::now();
+  const sched::EngineStats engine_stats =
+      session.run(job.graph(), body, hooks, opt.resolved_engine());
+  Factorization f = job.finish();
+  f.stats.engine = engine_stats;
   f.stats.factor_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  f.stats.gflops = model::gflops(chol_flops(tl.n), f.stats.factor_seconds);
+  f.stats.gflops =
+      model::gflops(chol_flops(a.tiling().n), f.stats.factor_seconds);
   if (injector) {
     f.stats.noise_delta_max = injector->delta_max();
     f.stats.noise_delta_avg = injector->delta_avg();

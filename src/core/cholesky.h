@@ -11,6 +11,8 @@
 // trailing-matrix imbalance, which the ablation bench measures.
 #pragma once
 
+#include <memory>
+
 #include "src/core/calu.h"
 #include "src/layout/matrix.h"
 #include "src/layout/packed.h"
@@ -18,6 +20,33 @@
 #include "src/sched/thread_team.h"
 
 namespace calu::core {
+
+/// A prepared Cholesky job: the task graph plus tile-kernel bodies of one
+/// potrf, exposed in the same shape as GetrfJob so Cholesky DAGs can be
+/// fused with other jobs into one engine run (sched::Session::run_fused).
+/// Task ids are job-local — the builder never assumes its graph is alone
+/// in a run, and the fused dispatch translates ids before exec().
+/// potrf() is implemented as prepare → run → finish over this class.
+class PotrfJob {
+ public:
+  /// `a` must stay alive (and be mutated only through exec) for the
+  /// job's lifetime.
+  PotrfJob(layout::PackedMatrix& a, const Options& opt);
+  ~PotrfJob();
+  PotrfJob(PotrfJob&&) noexcept;
+  PotrfJob& operator=(PotrfJob&&) noexcept;
+
+  const sched::TaskGraph& graph() const;
+  void exec(int id, int tid);  ///< execute one task (job-local id)
+
+  /// Plan/task stat extraction (ipiv stays empty — no pivoting).  Engine
+  /// counters and wall time belong to the caller that ran the graph.
+  Factorization finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Factor the SPD matrix (lower triangle referenced) in place on a
 /// caller-provided session: A = L*L^T.  Reuses calu::core::Options (b,

@@ -23,23 +23,13 @@ std::uint64_t prio(int j, int k, int rank) {
          static_cast<std::uint64_t>(rank);
 }
 
-}  // namespace
-
-IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
-                          sched::Session& session) {
-  const layout::Tiling& tl = a.tiling();
-  assert(tl.m == tl.n && "incremental pivoting implemented for square A");
-  const int nt = tl.mb();
-
-  IncpivFactor f;
-  f.a_ = &a;
-  f.npanels_ = nt;
-  f.tile_piv_.resize(nt);
-  f.pair_piv_.resize(static_cast<std::size_t>(nt) * nt);
-  f.laux_.resize(static_cast<std::size_t>(nt) * nt);
-
-  // --- Build the incremental-pivoting DAG (all tasks dynamic). ---
-  // Kind mapping: P = GETRF, U = GESSM, L = TSTRF, S = SSSSM.
+/// Builds the incremental-pivoting DAG (all tasks dynamic) over an
+/// nt × nt tile grid.  Kind mapping: P = GETRF, U = GESSM, L = TSTRF,
+/// S = SSSSM.  Ids are graph-local and the bodies dispatch on task
+/// metadata (step/i/j), never on raw ids, so the graph survives
+/// TaskGraph::append's id offsetting and priority re-keying when fused
+/// into a multi-job run.
+sched::TaskGraph build_incpiv_graph(int nt) {
   sched::TaskGraph g;
   std::vector<int> getrf_id(nt, -1);
   std::vector<int> gessm_id(nt, -1);            // per J at current k
@@ -100,6 +90,25 @@ IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
     }
   }
   g.finalize();
+  return g;
+}
+
+}  // namespace
+
+IncpivFactor getrf_incpiv(layout::PackedMatrix& a, const Options& opt,
+                          sched::Session& session) {
+  const layout::Tiling& tl = a.tiling();
+  assert(tl.m == tl.n && "incremental pivoting implemented for square A");
+  const int nt = tl.mb();
+
+  IncpivFactor f;
+  f.a_ = &a;
+  f.npanels_ = nt;
+  f.tile_piv_.resize(nt);
+  f.pair_piv_.resize(static_cast<std::size_t>(nt) * nt);
+  f.laux_.resize(static_cast<std::size_t>(nt) * nt);
+
+  const sched::TaskGraph g = build_incpiv_graph(nt);
   f.stats.tasks = g.num_tasks();
   f.stats.npanels = nt;
 

@@ -43,21 +43,11 @@ double solve_residual(const layout::Matrix& a, const layout::Matrix& x,
   return denom > 0.0 ? nr / denom : nr;
 }
 
-SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
-                 const Options& opt, int max_refine) {
-  sched::Session ephemeral(session_options_from(opt));
-  return gesv(a, b, opt, ephemeral, max_refine);
-}
-
-SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
-                 const Options& opt, sched::Session& session,
-                 int max_refine) {
-  assert(a.rows() == a.cols() && a.rows() == b.rows());
-  SolveResult res;
-  layout::Matrix lu = a;
-  res.factorization = getrf(lu, opt, session);
+void solve_factored(const layout::Matrix& a, const layout::Matrix& b,
+                    const layout::Matrix& lu, util::Span<const int> ipiv,
+                    int max_refine, SolveResult& res) {
   res.x = b;
-  getrs(lu, res.factorization.ipiv, res.x);
+  getrs(lu, ipiv, res.x);
   res.residual = solve_residual(a, res.x, b);
 
   for (int it = 0; it < max_refine; ++it) {
@@ -67,13 +57,43 @@ SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
     blas::gemm(blas::Trans::No, blas::Trans::No, a.rows(), b.cols(), a.cols(),
                -1.0, a.data(), a.ld(), res.x.data(), res.x.ld(), 1.0,
                r.data(), r.ld());
-    getrs(lu, res.factorization.ipiv, r);
+    getrs(lu, ipiv, r);
     for (int j = 0; j < res.x.cols(); ++j)
       for (int i = 0; i < res.x.rows(); ++i) res.x(i, j) += r(i, j);
     ++res.refine_steps;
     res.residual = solve_residual(a, res.x, b);
   }
+}
+
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt) {
+  sched::Session ephemeral(session_options_from(opt));
+  return gesv(a, b, opt, ephemeral);
+}
+
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, sched::Session& session) {
+  assert(a.rows() == a.cols() && a.rows() == b.rows());
+  SolveResult res;
+  layout::Matrix lu = a;
+  res.factorization = getrf(lu, opt, session);
+  solve_factored(a, b, lu, res.factorization.ipiv, opt.max_refine, res);
   return res;
+}
+
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, int max_refine) {
+  Options o = opt;
+  o.max_refine = max_refine;
+  return gesv(a, b, o);
+}
+
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, sched::Session& session,
+                 int max_refine) {
+  Options o = opt;
+  o.max_refine = max_refine;
+  return gesv(a, b, o, session);
 }
 
 }  // namespace calu::core

@@ -30,17 +30,37 @@ struct SolveResult {
   Factorization factorization;
 };
 
-/// Factor with CALU (per `opt`) and solve A x = b with up to `max_refine`
-/// steps of iterative refinement in double precision.  One-shot: spawns
-/// an ephemeral session (thread team) for the call.
+/// Solve + iterative refinement from already-computed factors: fills
+/// res.x / res.refine_steps / res.residual for A x = b given the
+/// LAPACK-style combined [L\U] factors in `lu` and pivots `ipiv`, with up
+/// to `max_refine` refinement steps.  Shared by gesv and the fused batch
+/// path (core/batch.cpp), so every solve route refines bit-identically.
+void solve_factored(const layout::Matrix& a, const layout::Matrix& b,
+                    const layout::Matrix& lu, util::Span<const int> ipiv,
+                    int max_refine, SolveResult& res);
+
+/// Factor with CALU (per `opt`) and solve A x = b with up to
+/// opt.max_refine steps of iterative refinement in double precision.
+/// One-shot: spawns an ephemeral session (thread team) for the call.
 SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
-                 const Options& opt, int max_refine = 2);
+                 const Options& opt);
 
 /// gesv on a caller-provided persistent session: the factorization DAG
 /// runs on the session's pinned team, so back-to-back solves pay no
 /// thread-spawn cost.  Numerically identical to the one-shot overload.
 SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, sched::Session& session);
+
+// Deprecated trailing-parameter overloads: max_refine lives in
+// Options::max_refine now.  Thin wrappers kept so pre-existing call sites
+// keep compiling unchanged.
+[[deprecated("set Options::max_refine instead of the trailing parameter")]]
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
+                 const Options& opt, int max_refine);
+
+[[deprecated("set Options::max_refine instead of the trailing parameter")]]
+SolveResult gesv(const layout::Matrix& a, const layout::Matrix& b,
                  const Options& opt, sched::Session& session,
-                 int max_refine = 2);
+                 int max_refine);
 
 }  // namespace calu::core

@@ -51,6 +51,27 @@ class TaskGraph {
   /// Builds the CSR successor structure.  Call once, before execution.
   void finalize();
 
+  /// Appends every task and edge of `other` into this graph, returning
+  /// the id offset assigned to other's task 0 (other's task t becomes id
+  /// offset + t here; edges are re-targeted accordingly).  Owner, kind,
+  /// step/i/j/aux and locality tag are preserved verbatim; priorities are
+  /// re-keyed as
+  ///
+  ///     priority * priority_scale + priority_bias
+  ///
+  /// which namespaces the DFS order per appended graph: fusing N jobs
+  /// with scale = N and bias = job index round-robins jobs that are tied
+  /// at equal original priority instead of draining one job before the
+  /// next — the fair interleave the fused batch path wants.  Builders
+  /// keep priorities under 2^48 ((j<<36)|(k<<12)|rank), so realistic job
+  /// counts multiply without overflowing 64 bits.  This graph must not be
+  /// finalized yet; `other` may or may not be (a finalized source is read
+  /// through its CSR successors, an unfinalized one through its pending
+  /// edge list).  Used by sched::Session::run_fused to merge many jobs'
+  /// DAGs into one engine run.
+  int append(const TaskGraph& other, std::uint64_t priority_scale = 1,
+             std::uint64_t priority_bias = 0);
+
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
   int num_edges() const { return static_cast<int>(edges_.size()); }
   const Task& task(int id) const { return tasks_[id]; }

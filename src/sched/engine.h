@@ -60,6 +60,16 @@ struct RunHooks {
   /// `lookahead_depth` panels of the completion frontier are promoted to
   /// the shared urgent queue.  Other engines ignore it.
   int lookahead_depth = 4;
+  /// Invoked from the completion path every engine shares
+  /// (detail::RunContext::run_task) after a task's body returned and its
+  /// successors were notified, on the worker thread that executed it —
+  /// and strictly before the engine can observe the run as done, so the
+  /// callback never races engine teardown.  `dynamic` mirrors the queue
+  /// attribution the engine reported for the pop (static/local vs
+  /// dynamic/stolen/promoted).  Session::run_fused uses it to drive
+  /// per-job remaining-task counters and completion callbacks; leave it
+  /// empty otherwise — it sits on the hot path.
+  std::function<void(int id, int tid, bool dynamic)> on_retire;
 };
 
 /// Merged execution counters.  Engines accumulate per-thread into

@@ -55,6 +55,10 @@ class RunContext {
     }
     for (int s : graph_.successors(id))
       if (deps_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) enqueue(s);
+    // Retire hook before the remaining_ decrement: the engine cannot see
+    // done() until the hook returned, so per-job completion accounting
+    // (Session::run_fused) never races the end of the run.
+    if (hooks_.on_retire) hooks_.on_retire(id, tid, dynamic);
     remaining_.fetch_sub(1, std::memory_order_acq_rel);
   }
 

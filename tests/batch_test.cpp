@@ -9,6 +9,10 @@
 //     counting ThreadTeam constructions (never by timing).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -96,11 +100,10 @@ TEST(BatchedGesv, BitIdenticalToOneShotAcrossEngines) {
 
     std::vector<core::SolveResult> ref;
     for (std::size_t i = 0; i < as.size(); ++i)
-      ref.push_back(core::gesv(as[i], bs[i], opt, 2));
+      ref.push_back(core::gesv(as[i], bs[i], opt));
 
     sched::Session session(sched::SessionOptions{4, false});
-    core::BatchSolveResult res =
-        core::batched_gesv(as, bs, opt, session, 2);
+    core::BatchSolveResult res = core::batched_gesv(as, bs, opt, session);
 
     ASSERT_EQ(res.jobs.size(), as.size());
     for (std::size_t i = 0; i < as.size(); ++i) {
@@ -174,8 +177,7 @@ TEST(Session, ThreadsSpawnOncePerSession) {
   const std::uint64_t workers0 = sched::ThreadTeam::workers_spawned();
   {
     sched::Session session(sched::SessionOptions{4, false});
-    core::BatchSolveResult res =
-        core::batched_gesv(as, bs, opt, session, 2);
+    core::BatchSolveResult res = core::batched_gesv(as, bs, opt, session);
     EXPECT_EQ(res.jobs.size(), 3u);
     EXPECT_EQ(session.runs(), 3u);
   }
@@ -185,7 +187,7 @@ TEST(Session, ThreadsSpawnOncePerSession) {
   // One-shot calls pay the spawn per job: one team construction each.
   const std::uint64_t teams1 = sched::ThreadTeam::teams_constructed();
   for (std::size_t i = 0; i < as.size(); ++i)
-    core::gesv(as[i], bs[i], opt, 2);
+    core::gesv(as[i], bs[i], opt);
   EXPECT_EQ(sched::ThreadTeam::teams_constructed(),
             teams1 + static_cast<std::uint64_t>(as.size()));
 }
@@ -252,6 +254,206 @@ TEST(Session, MixedWorkloadSharesOneTeam) {
 
   EXPECT_EQ(session.runs(), 3u);
   EXPECT_EQ(sched::ThreadTeam::teams_constructed(), teams0 + 1);
+}
+
+// ------------------------------------------------------- fused batches ---
+
+/// Builds the BatchJob vector for a set of in-place factor jobs.
+std::vector<core::BatchJob> factor_jobs(std::vector<Matrix>& ms,
+                                        const Options& opt) {
+  std::vector<core::BatchJob> jobs(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    jobs[i].a = &ms[i];
+    jobs[i].options = opt;
+  }
+  return jobs;
+}
+
+// The tentpole acceptance matrix: a fused submission (one engine run for
+// the whole batch) must produce exactly the factors and pivots of the
+// sequential mode, for every registered engine and both pack modes, on
+// mixed sizes including a tall-skinny edge-tile job.
+TEST(BatchedRun, FusedBitIdenticalToSequentialAcrossEnginesAndPackModes) {
+  for (const std::string& engine : sched::engine_names())
+    for (bool pack : {true, false}) {
+      SCOPED_TRACE(engine + " pack=" + std::to_string(pack));
+      const Options opt = batch_options(engine, pack);
+
+      std::vector<Matrix> seq_ms = mixed_jobs(2101);
+      std::vector<core::BatchJob> seq_jobs = factor_jobs(seq_ms, opt);
+      sched::Session seq_session(sched::SessionOptions{4, false});
+      core::BatchRunResult seq = core::batched_run(
+          seq_jobs, seq_session, core::BatchMode::Sequential);
+
+      std::vector<Matrix> fus_ms = mixed_jobs(2101);
+      std::vector<core::BatchJob> fus_jobs = factor_jobs(fus_ms, opt);
+      sched::Session fus_session(sched::SessionOptions{4, false});
+      core::BatchRunResult fus =
+          core::batched_run(fus_jobs, fus_session, core::BatchMode::Fused);
+
+      EXPECT_EQ(seq.stats.dag_runs, seq_ms.size());
+      EXPECT_EQ(fus.stats.dag_runs, 1u);  // the whole batch, one engine run
+      ASSERT_EQ(fus.jobs.size(), seq.jobs.size());
+      for (std::size_t i = 0; i < seq_ms.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        EXPECT_EQ(fus.jobs[i].factorization.ipiv,
+                  seq.jobs[i].factorization.ipiv);
+        EXPECT_EQ(test::max_abs_diff(fus_ms[i], seq_ms[i]), 0.0);
+        // Per-job attribution split out of the fused run covers every task.
+        const auto& eng = fus.jobs[i].factorization.stats.engine;
+        EXPECT_EQ(eng.static_pops + eng.dynamic_pops,
+                  static_cast<std::uint64_t>(
+                      fus.jobs[i].factorization.stats.tasks));
+      }
+    }
+}
+
+TEST(BatchedRun, FusedGesvJobsMatchSequentialAndLeaveInputsUntouched) {
+  std::vector<Matrix> as;
+  as.push_back(Matrix::random(96, 96, 2201));
+  as.push_back(Matrix::random(48, 48, 2202));
+  as.push_back(Matrix::random(112, 112, 2203));
+  std::vector<Matrix> bs;
+  bs.push_back(Matrix::random(96, 2, 2204));
+  bs.push_back(Matrix::random(48, 1, 2205));
+  bs.push_back(Matrix::random(112, 3, 2206));
+  const std::vector<Matrix> as0 = as;  // inputs must come back untouched
+
+  for (const std::string& engine : sched::engine_names()) {
+    SCOPED_TRACE(engine);
+    auto make_jobs = [&] {
+      std::vector<core::BatchJob> jobs(as.size());
+      for (std::size_t i = 0; i < as.size(); ++i) {
+        jobs[i].a = &as[i];
+        jobs[i].rhs = &bs[i];
+        jobs[i].options = batch_options(engine, true);
+      }
+      // Options are per job: the middle job skips refinement entirely.
+      jobs[1].options.max_refine = 0;
+      return jobs;
+    };
+
+    std::vector<core::BatchJob> seq_jobs = make_jobs();
+    sched::Session seq_session(sched::SessionOptions{4, false});
+    core::BatchRunResult seq = core::batched_run(
+        seq_jobs, seq_session, core::BatchMode::Sequential);
+
+    std::vector<core::BatchJob> fus_jobs = make_jobs();
+    sched::Session fus_session(sched::SessionOptions{4, false});
+    core::BatchRunResult fus =
+        core::batched_run(fus_jobs, fus_session, core::BatchMode::Fused);
+
+    ASSERT_EQ(fus.jobs.size(), seq.jobs.size());
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      SCOPED_TRACE("job " + std::to_string(i));
+      EXPECT_EQ(test::max_abs_diff(fus.jobs[i].x, seq.jobs[i].x), 0.0);
+      EXPECT_EQ(fus.jobs[i].refine_steps, seq.jobs[i].refine_steps);
+      EXPECT_EQ(fus.jobs[i].factorization.ipiv,
+                seq.jobs[i].factorization.ipiv);
+      EXPECT_EQ(test::max_abs_diff(as[i], as0[i]), 0.0);
+    }
+    EXPECT_EQ(seq.jobs[1].refine_steps, 0);  // max_refine=0 respected
+  }
+}
+
+TEST(BatchedRun, CompletionCallbacksFireOncePerJob) {
+  const Options opt = batch_options("hybrid", true);
+
+  // Fused: callbacks fire from worker threads as each job's DAG retires —
+  // exactly once per job, and the recorded order must match the result's
+  // completion_order (a permutation of the job indices).
+  std::vector<Matrix> ms = mixed_jobs(2301);
+  std::vector<core::BatchJob> jobs = factor_jobs(ms, opt);
+  std::vector<std::atomic<int>> fired(jobs.size());
+  for (auto& f : fired) f.store(0);
+  std::vector<int> seen;
+  std::mutex mu;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    jobs[i].on_complete = [&, i](int job) {
+      EXPECT_EQ(job, static_cast<int>(i));
+      fired[i].fetch_add(1);
+      std::lock_guard<std::mutex> lk(mu);
+      seen.push_back(job);
+    };
+  sched::Session session(sched::SessionOptions{4, false});
+  core::BatchRunResult res =
+      core::batched_run(jobs, session, core::BatchMode::Fused);
+  for (auto& f : fired) EXPECT_EQ(f.load(), 1);
+  EXPECT_EQ(seen, res.completion_order);
+  std::vector<int> sorted = res.completion_order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+  for (const core::BatchJobResult& j : res.jobs)
+    EXPECT_GT(j.completed_at, 0.0);
+
+  // Sequential: caller thread, submission order.
+  std::vector<Matrix> ms2 = mixed_jobs(2301);
+  std::vector<core::BatchJob> jobs2 = factor_jobs(ms2, opt);
+  std::vector<int> seq_seen;
+  for (std::size_t i = 0; i < jobs2.size(); ++i)
+    jobs2[i].on_complete = [&seq_seen](int job) { seq_seen.push_back(job); };
+  core::BatchRunResult res2 =
+      core::batched_run(jobs2, session, core::BatchMode::Sequential);
+  EXPECT_EQ(seq_seen, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(res2.completion_order, seq_seen);
+}
+
+TEST(BatchedRun, FusedRejectsMixedEnginesSequentialAcceptsThem) {
+  std::vector<Matrix> ms = mixed_jobs(2401);
+  std::vector<core::BatchJob> jobs =
+      factor_jobs(ms, batch_options("hybrid", true));
+  jobs[1].options.engine = "work-stealing";
+
+  sched::Session session(sched::SessionOptions{4, false});
+  EXPECT_THROW(core::batched_run(jobs, session, core::BatchMode::Fused),
+               std::invalid_argument);
+
+  // Sequential mode runs each job on its own engine — no constraint.
+  std::vector<Matrix> ref = mixed_jobs(2401);
+  core::Factorization f0 = core::getrf(ref[1], jobs[1].options);
+  core::BatchRunResult res =
+      core::batched_run(jobs, session, core::BatchMode::Sequential);
+  EXPECT_EQ(res.jobs[1].factorization.ipiv, f0.ipiv);
+  EXPECT_EQ(test::max_abs_diff(ms[1], ref[1]), 0.0);
+}
+
+TEST(BatchedRun, EmptyBatchIsANoOp) {
+  sched::Session session(sched::SessionOptions{2, false});
+  std::vector<core::BatchJob> jobs;
+  core::BatchRunResult res =
+      core::batched_run(jobs, session, core::BatchMode::Fused);
+  EXPECT_TRUE(res.jobs.empty());
+  EXPECT_TRUE(res.completion_order.empty());
+  EXPECT_EQ(res.stats.dag_runs, 0u);
+  EXPECT_EQ(session.runs(), 0u);
+}
+
+// The deprecated trailing-max_refine overloads must keep compiling with
+// their pre-redesign signatures and behave exactly like setting
+// Options::max_refine.
+TEST(BatchedRun, DeprecatedTrailingMaxRefineWrappersStillWork) {
+  const int n = 64;
+  const Matrix a = Matrix::random(n, n, 2501);
+  const Matrix b = Matrix::random(n, 1, 2502);
+  Options opt = batch_options("hybrid", true);
+
+  opt.max_refine = 3;
+  core::SolveResult want = core::gesv(a, b, opt);
+
+  opt.max_refine = 2;  // the trailing argument must override this
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  core::SolveResult got = core::gesv(a, b, opt, 3);
+  std::vector<Matrix> as{a};
+  std::vector<Matrix> bs{b};
+  core::BatchSolveResult batch = core::batched_gesv(as, bs, opt, 3);
+#pragma GCC diagnostic pop
+
+  EXPECT_EQ(test::max_abs_diff(got.x, want.x), 0.0);
+  EXPECT_EQ(got.refine_steps, want.refine_steps);
+  ASSERT_EQ(batch.jobs.size(), 1u);
+  EXPECT_EQ(test::max_abs_diff(batch.jobs[0].x, want.x), 0.0);
+  EXPECT_EQ(batch.jobs[0].refine_steps, want.refine_steps);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "src/sched/dag.h"
 #include "src/sched/engine.h"
 #include "src/sched/engine_registry.h"
+#include "src/sched/session.h"
 #include "src/sched/task_queue.h"
 #include "src/sched/thread_team.h"
 
@@ -349,6 +350,108 @@ TEST(TaskGraph, CsrSuccessors) {
   EXPECT_EQ(g.initial_deps(0), 0);
   EXPECT_EQ(g.initial_deps(3), 2);
 }
+
+// ------------------------------------------------- TaskGraph::append ---
+
+TEST(TaskGraph, AppendOffsetsIdsAndRekeysPriorities) {
+  // Two jobs fused with scale = 2: job 0 at bias 0, job 1 at bias 1.
+  TaskGraph a;
+  for (int i = 0; i < 2; ++i) {
+    Task t;
+    t.kind = trace::Kind::P;
+    t.step = 7;
+    t.i = 3;
+    t.j = 4;
+    t.priority = static_cast<std::uint64_t>(10 + i);
+    t.owner = i;
+    t.tag = 1 - i;
+    a.add_task(t);
+  }
+  a.add_edge(0, 1);
+
+  TaskGraph b;
+  for (int i = 0; i < 3; ++i) {
+    Task t;
+    t.priority = static_cast<std::uint64_t>(20 + i);
+    t.owner = kDynamicOwner;
+    b.add_task(t);
+  }
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+
+  TaskGraph fused;
+  const int off_a = fused.append(a, /*priority_scale=*/2, /*priority_bias=*/0);
+  const int off_b = fused.append(b, /*priority_scale=*/2, /*priority_bias=*/1);
+  EXPECT_EQ(off_a, 0);
+  EXPECT_EQ(off_b, 2);
+  ASSERT_EQ(fused.num_tasks(), 5);
+  EXPECT_EQ(fused.num_edges(), 3);
+
+  // Priorities re-keyed: orig * scale + bias, preserving each job's
+  // internal order and round-robin interleave at equal original priority.
+  EXPECT_EQ(fused.task(0).priority, 20u);
+  EXPECT_EQ(fused.task(1).priority, 22u);
+  EXPECT_EQ(fused.task(2).priority, 41u);
+  EXPECT_EQ(fused.task(3).priority, 43u);
+  EXPECT_EQ(fused.task(4).priority, 45u);
+  // Everything else copies through untouched.
+  EXPECT_EQ(fused.task(0).kind, trace::Kind::P);
+  EXPECT_EQ(fused.task(0).step, 7);
+  EXPECT_EQ(fused.task(0).i, 3);
+  EXPECT_EQ(fused.task(0).j, 4);
+  EXPECT_EQ(fused.task(0).owner, 0);
+  EXPECT_EQ(fused.task(1).owner, 1);
+  EXPECT_EQ(fused.task(0).tag, 1);
+  EXPECT_EQ(fused.task(2).owner, kDynamicOwner);
+
+  fused.finalize();
+  // CSR after append: edges land on the offset-shifted ids.
+  auto sa = fused.successors(0);
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 1);
+  auto sb0 = fused.successors(2);
+  ASSERT_EQ(sb0.size(), 1u);
+  EXPECT_EQ(sb0[0], 4);
+  auto sb1 = fused.successors(3);
+  ASSERT_EQ(sb1.size(), 1u);
+  EXPECT_EQ(sb1[0], 4);
+  EXPECT_EQ(fused.initial_deps(0), 0);
+  EXPECT_EQ(fused.initial_deps(1), 1);
+  EXPECT_EQ(fused.initial_deps(4), 2);
+}
+
+TEST(TaskGraph, AppendFromFinalizedSourceKeepsEdges) {
+  // A finalized source (edges already consumed into CSR) must append
+  // identically to an unfinalized one — the fused batch path appends
+  // graphs that jobs finalized for their own one-shot use.
+  TaskGraph src;
+  for (int i = 0; i < 4; ++i) {
+    Task t;
+    t.priority = static_cast<std::uint64_t>(i);
+    src.add_task(t);
+  }
+  src.add_edge(0, 1);
+  src.add_edge(0, 2);
+  src.add_edge(1, 3);
+  src.add_edge(2, 3);
+  src.finalize();
+
+  TaskGraph fused;
+  fused.add_task(Task{});  // pre-existing task shifts the offset
+  const int off = fused.append(src);
+  EXPECT_EQ(off, 1);
+  ASSERT_EQ(fused.num_tasks(), 5);
+  fused.finalize();
+  auto s = fused.successors(1);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(fused.initial_deps(1), 0);
+  EXPECT_EQ(fused.initial_deps(2), 1);
+  EXPECT_EQ(fused.initial_deps(4), 2);
+  // Default scale/bias keep priorities verbatim.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(fused.task(1 + i).priority, static_cast<std::uint64_t>(i));
+}
+
 
 // ------------------------------------------- executors on synthetic DAGs
 
@@ -844,6 +947,148 @@ TEST(PriorityLookahead, GenericTasksNeverPromote) {
   EXPECT_EQ(log.counter.load(), g.num_tasks());
   EXPECT_EQ(st.promotions, 0u);
   check_topological(g, log);
+}
+
+// -------------------------------------------- fused multi-DAG sessions ---
+
+TEST(SessionFused, AppendedGraphRunsInDependencyOrder) {
+  // Two diamonds fused into one graph still execute each job's edges in
+  // order under a real executor.
+  auto diamond = [] {
+    TaskGraph g;
+    for (int i = 0; i < 4; ++i) {
+      Task t;
+      t.priority = static_cast<std::uint64_t>(i);
+      g.add_task(t);
+    }
+    g.add_edge(0, 1);
+    g.add_edge(0, 2);
+    g.add_edge(1, 3);
+    g.add_edge(2, 3);
+    return g;
+  };
+  TaskGraph g1 = diamond();
+  TaskGraph g2 = diamond();
+  TaskGraph fused;
+  fused.append(g1, 2, 0);
+  fused.append(g2, 2, 1);
+  fused.finalize();
+  ThreadTeam team(4, false);
+  ExecLog log(fused.num_tasks());
+  sched::run_owner_queues(team, fused, [&](int id, int) { log.mark(id); });
+  EXPECT_EQ(log.counter.load(), 8);
+  check_topological(fused, log);
+}
+
+// Every engine executes a fused three-job submission: per-job tasks run
+// exactly once in dependency order (on job-local ids), per-job counters
+// account for every task, completion callbacks fire exactly once, and the
+// whole fusion is one session run.
+TEST(SessionFused, EveryEngineRunsAllJobsExactlyOnce) {
+  // The explicit builtin list (like EngineInterfaceTest), not
+  // engine_names(): earlier registry tests register probe engines whose
+  // factories must not be re-invoked outside their own test.
+  for (const std::string name : {"hybrid", "locality-tags", "work-stealing",
+                                 "priority-lookahead"}) {
+    SCOPED_TRACE(name);
+    const int p = 4;
+    sched::Session session(sched::SessionOptions{p, false});
+    const std::uint64_t runs0 = session.runs();
+
+    std::vector<TaskGraph> graphs;
+    graphs.push_back(random_dag(200, 0.02, 501, p));
+    graphs.push_back(random_dag(120, 0.03, 502, p));
+    graphs.push_back(random_dag(60, 0.05, 503, p));
+    const int njobs = static_cast<int>(graphs.size());
+
+    std::vector<std::unique_ptr<ExecLog>> logs;
+    std::vector<std::atomic<int>> completions(njobs);
+    std::vector<sched::FusedJob> jobs(njobs);
+    for (int j = 0; j < njobs; ++j) {
+      logs.push_back(std::make_unique<ExecLog>(graphs[j].num_tasks()));
+      completions[j].store(0);
+      jobs[j].graph = &graphs[j];
+      ExecLog* log = logs.back().get();
+      jobs[j].exec = [log](int id, int) { log->mark(id); };
+      jobs[j].on_complete = [&completions, j](int job) {
+        EXPECT_EQ(job, j);
+        completions[j].fetch_add(1);
+      };
+    }
+
+    sched::FusedRunResult fr = session.run_fused(jobs, {}, name);
+    EXPECT_EQ(session.runs(), runs0 + 1);  // one engine run for all jobs
+    EXPECT_EQ(fr.fused_tasks, 380);
+    ASSERT_EQ(fr.jobs.size(), static_cast<std::size_t>(njobs));
+    for (int j = 0; j < njobs; ++j) {
+      SCOPED_TRACE("job " + std::to_string(j));
+      const int tasks = graphs[j].num_tasks();
+      EXPECT_EQ(logs[j]->counter.load(), tasks);
+      check_topological(graphs[j], *logs[j]);
+      EXPECT_EQ(fr.jobs[j].tasks, tasks);
+      // Per-job attribution covers every task, whichever queue served it.
+      EXPECT_EQ(fr.jobs[j].static_pops + fr.jobs[j].dynamic_pops,
+                static_cast<std::uint64_t>(tasks));
+      EXPECT_EQ(completions[j].load(), 1);
+      EXPECT_GT(fr.jobs[j].completed_at, 0.0);
+    }
+    // completion_order is a permutation of the job indices.
+    std::vector<int> sorted = fr.completion_order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+  }
+}
+
+TEST(SessionFused, ZeroTaskJobCompletesBeforeTheRun) {
+  sched::Session session(sched::SessionOptions{2, false});
+  TaskGraph empty;
+  empty.finalize();
+  TaskGraph work = random_dag(50, 0.05, 504, 2);
+  std::atomic<int> empty_done{0};
+  std::atomic<int> ran{0};
+  std::vector<sched::FusedJob> jobs(2);
+  jobs[0].graph = &empty;
+  jobs[0].exec = [](int, int) { FAIL() << "empty job must not execute"; };
+  jobs[0].on_complete = [&](int job) {
+    EXPECT_EQ(job, 0);
+    empty_done.fetch_add(1);
+  };
+  jobs[1].graph = &work;
+  jobs[1].exec = [&](int, int) { ran.fetch_add(1); };
+
+  sched::FusedRunResult fr = session.run_fused(jobs);
+  EXPECT_EQ(empty_done.load(), 1);
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_EQ(fr.jobs[0].tasks, 0);
+  EXPECT_EQ(fr.jobs[0].static_pops + fr.jobs[0].dynamic_pops, 0u);
+  ASSERT_EQ(fr.completion_order.size(), 2u);
+  EXPECT_EQ(fr.completion_order[0], 0);  // complete before the run starts
+  EXPECT_EQ(fr.completion_order[1], 1);
+}
+
+TEST(SessionFused, CallerRetireHookChainsBeforeAccounting) {
+  // A caller-supplied on_retire must still fire (once per fused task, with
+  // fused ids) when run_fused layers its own accounting on top.
+  sched::Session session(sched::SessionOptions{4, false});
+  TaskGraph g1 = random_dag(80, 0.03, 505, 4);
+  TaskGraph g2 = random_dag(40, 0.05, 506, 4);
+  std::vector<sched::FusedJob> jobs(2);
+  jobs[0].graph = &g1;
+  jobs[0].exec = [](int, int) {};
+  jobs[1].graph = &g2;
+  jobs[1].exec = [](int, int) {};
+
+  std::vector<std::atomic<int>> retired(120);
+  for (auto& r : retired) r.store(0);
+  sched::RunHooks hooks;
+  hooks.on_retire = [&](int id, int, bool) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, 120);
+    retired[id].fetch_add(1);
+  };
+  session.run_fused(jobs, hooks);
+  for (int i = 0; i < 120; ++i)
+    ASSERT_EQ(retired[i].load(), 1) << "fused task " << i;
 }
 
 TEST(EngineStats, MergeAccumulatesAndReportFormats) {

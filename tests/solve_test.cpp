@@ -13,11 +13,12 @@ namespace {
 using core::Options;
 using layout::Matrix;
 
-Options small_opts() {
+Options small_opts(int max_refine = 2) {
   Options o;
   o.b = 16;
   o.threads = 4;
   o.pin_threads = false;
+  o.max_refine = max_refine;
   return o;
 }
 
@@ -63,7 +64,7 @@ TEST(Gesv, ResidualTinyAndRefinementConverges) {
   const int n = 120;
   Matrix a = Matrix::random(n, n, 307);
   Matrix b = Matrix::random(n, 2, 308);
-  auto res = core::gesv(a, b, small_opts(), 3);
+  auto res = core::gesv(a, b, small_opts(3));
   EXPECT_LT(res.residual, 1e-14);
   EXPECT_LE(res.refine_steps, 3);
 }
@@ -87,7 +88,7 @@ TEST(Gesv, IllConditionedStillBackwardStable) {
   for (int j = 0; j < n; ++j)
     for (int i = 0; i < n; ++i) a(i, j) = 1.0 / (1.0 + i + j);
   Matrix b = Matrix::random(n, 1, 311);
-  auto res = core::gesv(a, b, small_opts(), 5);
+  auto res = core::gesv(a, b, small_opts(5));
   EXPECT_LT(res.residual, 1e-10);
 }
 
@@ -97,7 +98,7 @@ TEST(Gesv, ZeroRhsGivesExactZeroWithoutRefinement) {
   const int n = 48;
   Matrix a = Matrix::random(n, n, 314);
   Matrix b(n, 2);  // zeros
-  auto res = core::gesv(a, b, small_opts(), 3);
+  auto res = core::gesv(a, b, small_opts(3));
   EXPECT_EQ(res.refine_steps, 0);
   EXPECT_EQ(res.residual, 0.0);
   for (int j = 0; j < 2; ++j)
@@ -108,7 +109,7 @@ TEST(Gesv, MaxRefineZeroSkipsRefinementButStillSolves) {
   const int n = 96;
   Matrix a = Matrix::random(n, n, 315);
   Matrix b = Matrix::random(n, 1, 316);
-  auto res = core::gesv(a, b, small_opts(), /*max_refine=*/0);
+  auto res = core::gesv(a, b, small_opts(/*max_refine=*/0));
   EXPECT_EQ(res.refine_steps, 0);
   EXPECT_LT(res.residual, 1e-12);  // GEPP-class accuracy without refinement
 }
@@ -128,7 +129,7 @@ TEST(Gesv, SingularPivotDoesNotCrashOrClaimConvergence) {
   for (int j = 0; j < n; ++j)
     for (int i = 0; i < n; ++i) a(i, j) = v(i, 0);
   Matrix b = Matrix::random(n, 1, 318);
-  auto res = core::gesv(a, b, small_opts(), 2);
+  auto res = core::gesv(a, b, small_opts(2));
   EXPECT_TRUE(std::isnan(res.residual));
   EXPECT_FALSE(res.residual < 1e-12);  // the convergence test must fail
   EXPECT_EQ(res.refine_steps, 2);
@@ -138,7 +139,7 @@ TEST(Gesv, ZeroMatrixReportsNaNResidual) {
   const int n = 32;
   Matrix a(n, n);  // zeros: every pivot is zero
   Matrix b = Matrix::random(n, 1, 319);
-  auto res = core::gesv(a, b, small_opts(), 1);
+  auto res = core::gesv(a, b, small_opts(1));
   EXPECT_TRUE(std::isnan(res.residual));
   EXPECT_EQ(res.refine_steps, 1);
 }
