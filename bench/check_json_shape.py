@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Shape-diff a freshly emitted bench JSON against a committed baseline.
+
+Usage: check_json_shape.py BASELINE FRESH
+
+Compares KEY PRESENCE, not values: every dotted key path present in the
+baseline must exist in the fresh emission (list entries are merged under a
+"[]" segment, so a sweep shorter than the baseline's — e.g. a CALU_KERNEL
+pin reducing the kernels list to one variant — still passes as long as
+each emitted record carries the full field set).  New keys in the fresh
+file are reported but allowed: sections only grow; silently LOSING a
+section is the failure mode this guards against, since downstream
+trajectory tooling would read the missing field as "bench stopped
+measuring this" without any error.
+
+Exit status: 0 on shape match (extra keys allowed), 1 on missing keys or
+unparseable input.
+"""
+import json
+import sys
+
+
+def key_paths(obj, prefix=""):
+    out = set()
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            path = f"{prefix}.{k}" if prefix else k
+            out.add(path)
+            out |= key_paths(v, path)
+    elif isinstance(obj, list):
+        for v in obj:
+            out |= key_paths(v, prefix + "[]")
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(fresh_path) as fh:
+            fresh = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"shape check FAILED: {e}", file=sys.stderr)
+        return 1
+
+    base_keys = key_paths(baseline)
+    fresh_keys = key_paths(fresh)
+    missing = sorted(base_keys - fresh_keys)
+    if missing:
+        print(f"shape check FAILED: {fresh_path} lost keys committed in "
+              f"{baseline_path}:", file=sys.stderr)
+        for k in missing:
+            print(f"  {k}", file=sys.stderr)
+        return 1
+    for k in sorted(fresh_keys - base_keys):
+        print(f"shape check: new key (ok): {k}")
+    print(f"shape check OK: {fresh_path} covers all "
+          f"{len(base_keys)} baseline key paths")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -204,6 +204,18 @@ double lu_flops(int m, int n) {
                     (static_cast<double>(m) + n) * k / 2.0 + k * k / 3.0);
 }
 
+/// Column-major float buffer seeded from the same deterministic stream as
+/// the double benches (exact double -> float rounding).
+std::vector<float> frandom(int m, int n, std::uint64_t seed) {
+  const auto d = layout::Matrix::random(m, n, seed);
+  std::vector<float> out(static_cast<std::size_t>(m) * n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      out[i + static_cast<std::size_t>(j) * m] =
+          static_cast<float>(d(i, j));
+  return out;
+}
+
 int run_json(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -240,6 +252,7 @@ int run_json(const char* path) {
     // (128), and two multi-tile sizes.
     std::fprintf(f, "     \"gemm_gflops\": {");
     const int gemm_sizes[] = {100, 128, 256, 512};
+    double gemm_f64[4] = {0, 0, 0, 0};  // kept for the f32 speedup ratios
     for (std::size_t i = 0; i < 4; ++i) {
       const int n = gemm_sizes[i];
       auto a = layout::Matrix::random(n, n, 1);
@@ -249,6 +262,7 @@ int run_json(const char* path) {
         blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0, a.data(),
                    n, b.data(), n, 1.0, c.data(), n);
       });
+      gemm_f64[i] = g;
       std::fprintf(f, "%s\"%d\": %.2f", i ? ", " : "", n, g);
     }
     std::fprintf(f, "},\n");
@@ -333,7 +347,70 @@ int run_json(const char* path) {
           2.0 * nswap * static_cast<double>(n) * 4.0 * 8.0 / sec * 1e-9;
       std::fprintf(f, "%s\"2048x%d\": %.2f", i ? ", " : "", n, g);
     }
-    std::fprintf(f, "}}%s\n", ki + 1 < names.size() ? "," : "");
+    std::fprintf(f, "},\n");
+    // Float32 side of the same variant (mixed-precision layer): the f32
+    // kernels double the SIMD lanes, so gemm should land well above the
+    // double rate — speedup_vs_f64 makes the ratio a committed artifact.
+    const blas::MicroKernelT<float>& mkf = blas::active_kernel_t<float>();
+    std::fprintf(f,
+                 "     \"f32\": {\"mr\": %d, \"nr\": %d, \"mc\": %d, "
+                 "\"kc\": %d, \"nc\": %d,\n",
+                 mkf.mr, mkf.nr, mkf.mc, mkf.kc, mkf.nc);
+    double gemm_f32[4] = {0, 0, 0, 0};
+    std::fprintf(f, "       \"gemm_gflops\": {");
+    for (std::size_t i = 0; i < 4; ++i) {
+      const int n = gemm_sizes[i];
+      auto a = frandom(n, n, 1);
+      auto b = frandom(n, n, 2);
+      auto c = frandom(n, n, 3);
+      const double g = gflops_of(2.0 * n * n * n, [&] {
+        blas::gemm(blas::Trans::No, blas::Trans::No, n, n, n, 1.0f,
+                   a.data(), n, b.data(), n, 1.0f, c.data(), n);
+      });
+      gemm_f32[i] = g;
+      std::fprintf(f, "%s\"%d\": %.2f", i ? ", " : "", n, g);
+    }
+    std::fprintf(f, "},\n       \"gemm_speedup_vs_f64\": {");
+    for (std::size_t i = 0; i < 4; ++i)
+      std::fprintf(f, "%s\"%d\": %.2f", i ? ", " : "", gemm_sizes[i],
+                   gemm_f64[i] > 0 ? gemm_f32[i] / gemm_f64[i] : 0.0);
+    std::fprintf(f, "},\n       \"trsm_gflops\": {");
+    for (std::size_t i = 0; i < 4; ++i) {
+      const int n = trsm_sizes[i];
+      auto td = layout::Matrix::diag_dominant(n, 1);
+      std::vector<float> t(static_cast<std::size_t>(n) * n);
+      for (int j = 0; j < n; ++j)
+        for (int r = 0; r < n; ++r)
+          t[r + static_cast<std::size_t>(j) * n] =
+              static_cast<float>(td(r, j));
+      const auto b0 = frandom(n, n, 2);
+      auto x = b0;
+      const double s_solve = seconds_of([&] {
+        x = b0;
+        blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+                   blas::Diag::Unit, n, n, 1.0f, t.data(), n, x.data(), n);
+      });
+      const double s_copy = seconds_of([&] { x = b0; });
+      const double g =
+          1.0 * n * n * n / std::max(s_solve - s_copy, 1e-9) * 1e-9;
+      std::fprintf(f, "%s\"%d\": %.2f", i ? ", " : "", n, g);
+    }
+    std::fprintf(f, "},\n       \"panel_gflops\": {");
+    {
+      const int m = 512, n = 128;
+      const auto a0 = frandom(m, n, 1);
+      auto a = a0;
+      std::vector<int> ipiv(n);
+      const double s_fact = seconds_of([&] {
+        a = a0;
+        blas::getf2(m, n, a.data(), m, ipiv.data());
+      });
+      const double s_copy = seconds_of([&] { a = a0; });
+      const double g =
+          lu_flops(m, n) / std::max(s_fact - s_copy, 1e-9) * 1e-9;
+      std::fprintf(f, "\"getf2_512x128\": %.2f", g);
+    }
+    std::fprintf(f, "}}}%s\n", ki + 1 < names.size() ? "," : "");
   }
   blas::select_kernel(nullptr);
   std::fprintf(f, "  ]\n}\n");

@@ -1,0 +1,120 @@
+// mixed_precision.cpp — speed-vs-accuracy sweep of the mixed-precision
+// solver (gesv_mixed, float32 factorization + double refinement) against
+// full-double gesv on identical systems.
+//
+//   mixed_precision [--json[=path]] [--threads=N]
+//
+// Emits a "mixed_precision" JSON object: per size, seconds / GFLOP/s /
+// final residual / refinement steps for both solvers, plus the wall-clock
+// speedup.  bench/run_bench.sh splices the object into BENCH_kernels.json
+// as a top-level section so the perf trajectory of the precision layer
+// rides in the same committed artifact as the kernel rates.  Under a
+// CALU_KERNEL pin both solvers dispatch the pinned variant (the pin
+// governs the double and float tables together).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/blas/microkernel.h"
+#include "src/calu.h"
+
+namespace {
+
+using namespace calu;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Timed {
+  double seconds = 0.0;
+  core::SolveResult res;
+};
+
+/// Best-of-reps wall time of one solve call (the factorization dominates;
+/// best-of filters scheduler noise on loaded hosts).
+template <class Fn>
+Timed best_of(int reps, Fn fn) {
+  Timed best;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::SolveResult res = fn();
+    const double dt = seconds_since(t0);
+    if (r == 0 || dt < best.seconds) {
+      best.seconds = dt;
+      best.res = std::move(res);
+    }
+  }
+  return best;
+}
+
+int run(const char* path, int threads, int reps) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  core::Options opt;
+  opt.b = 128;
+  opt.threads = threads;
+  opt.pin_threads = false;
+  opt.max_refine = 8;  // generous: gesv_mixed stops at double accuracy
+
+  std::fprintf(f, "{\n  \"bench\": \"mixed_precision\",\n");
+  std::fprintf(f, "  \"dispatched\": \"%s\",\n", blas::active_kernel().name);
+  std::fprintf(f, "  \"b\": %d, \"threads\": %d, \"max_refine\": %d,\n",
+               opt.b, opt.resolved_threads(), opt.max_refine);
+  std::fprintf(f, "  \"sweep\": [\n");
+
+  const int sizes[] = {256, 512, 1024};
+  const int nsizes = 3;
+  sched::Session session(core::session_options_from(opt));
+  for (int si = 0; si < nsizes; ++si) {
+    const int n = sizes[si];
+    const auto a = layout::Matrix::random(n, n, 7000 + si);
+    const auto b = layout::Matrix::random(n, 1, 8000 + si);
+    const double flops = 2.0 / 3.0 * n * n * n;
+
+    const Timed full = best_of(
+        reps, [&] { return core::gesv(a, b, opt, session); });
+    const Timed mixed = best_of(
+        reps, [&] { return core::gesv_mixed(a, b, opt, session); });
+
+    std::fprintf(
+        f,
+        "    {\"n\": %d,\n"
+        "     \"f64\": {\"seconds\": %.6f, \"gflops\": %.2f, "
+        "\"residual\": %.3e, \"refine_steps\": %d},\n"
+        "     \"mixed\": {\"seconds\": %.6f, \"gflops\": %.2f, "
+        "\"residual\": %.3e, \"refine_steps\": %d, \"used_fallback\": %s},\n"
+        "     \"speedup\": %.2f}%s\n",
+        n, full.seconds, flops / full.seconds * 1e-9, full.res.residual,
+        full.res.refine_steps, mixed.seconds,
+        flops / mixed.seconds * 1e-9, mixed.res.residual,
+        mixed.res.refine_steps, mixed.res.used_fallback ? "true" : "false",
+        full.seconds / mixed.seconds, si + 1 < nsizes ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = "BENCH_mixed.json";
+  int threads = 0;
+  int reps = 3;
+  if (const char* env = std::getenv("CALU_BENCH_REPS")) reps = std::atoi(env);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+    else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+      threads = std::atoi(argv[i] + 10);
+  }
+  return run(path, threads, reps < 1 ? 1 : reps);
+}

@@ -1,10 +1,18 @@
-// blas.h — dense double-precision kernel layer (column-major, leading dim).
+// blas.h — dense kernel layer (column-major, leading dimension).
 //
 // This is the kernel substrate of the reproduction: the paper runs on top of
 // MKL/GotoBLAS; in this environment we implement the subset dense LU needs
 // ourselves.  All matrices are column-major with an explicit leading
 // dimension `ld >= number of rows`, exactly like the BLAS/LAPACK convention,
 // so the tile engine can pass views into any of the three storage layouts.
+//
+// The LU operator set (gemm / trsm / laswp / getf2 / getrf_recursive /
+// getrf_nopiv and the packed-operand interface) exists at both double and
+// float32 precision as plain overloads over one templated implementation —
+// the float width feeds the mixed-precision solver (core::gesv_mixed):
+// float halves every packed operand and doubles every SIMD lane.  The
+// Cholesky operators, norms, and residual diagnostics stay double-only
+// (nothing consumes them in float).
 //
 // Pivot convention: `ipiv[i] = r` means "row i was swapped with row r"
 // (0-based, both indices relative to the first row of the factored panel),
@@ -30,6 +38,9 @@ enum class Diag : std::uint8_t { Unit, NonUnit };
 void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
           const double* a, int lda, const double* b, int ldb, double beta,
           double* c, int ldc);
+void gemm(Trans ta, Trans tb, int m, int n, int k, float alpha,
+          const float* a, int lda, const float* b, int ldb, float beta,
+          float* c, int ldc);
 
 // --- pre-packed operand interface -------------------------------------
 //
@@ -38,20 +49,32 @@ void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
 // packed copy (O(nb) packs per step instead of O(nb^2)).  Pack layout is
 // the active micro-kernel's: mr-row / nr-column strips, zero-padded to
 // full strips, split into kc-deep blocks.  Buffers must be 64-byte
-// aligned (util::AlignedBuffer) and pack/consume must run under the same
+// aligned (util::AlignedBufferT) and pack/consume must run under the same
 // selected kernel — the selection is process-wide and fixed outside
 // tests, so this only constrains select_kernel() callers.
 
-/// Doubles needed for a packed m x k panel of op(A) / k x n panel of
-/// op(B), padding included.
+/// Elements of T needed for a packed m x k panel of op(A) / k x n panel
+/// of op(B), padding included.  The strip widths are the active kernel's
+/// at precision T, so the sizes differ between float and double.
+template <class T = double>
 std::size_t packed_a_size(int m, int k);
+template <class T = double>
 std::size_t packed_b_size(int k, int n);
+
+extern template std::size_t packed_a_size<double>(int, int);
+extern template std::size_t packed_b_size<double>(int, int);
+extern template std::size_t packed_a_size<float>(int, int);
+extern template std::size_t packed_b_size<float>(int, int);
 
 /// Pack op(A) (m x k) / op(B) (k x n) into `buf`.
 void gemm_pack_a(Trans ta, int m, int k, const double* a, int lda,
                  double* buf);
 void gemm_pack_b(Trans tb, int k, int n, const double* b, int ldb,
                  double* buf);
+void gemm_pack_a(Trans ta, int m, int k, const float* a, int lda,
+                 float* buf);
+void gemm_pack_b(Trans tb, int k, int n, const float* b, int ldb,
+                 float* buf);
 
 /// C := alpha * A * B + C over pre-packed operands (pure accumulate; the
 /// kernels never scale C, so beta handling stays with the caller).  For a
@@ -60,6 +83,8 @@ void gemm_pack_b(Trans tb, int k, int n, const double* b, int ldb,
 /// pack-once-per-panel equivalent to pack-per-task.
 void gemm_packed(int m, int n, int k, double alpha, const double* apack,
                  const double* bpack, double* c, int ldc);
+void gemm_packed(int m, int n, int k, float alpha, const float* apack,
+                 const float* bpack, float* c, int ldc);
 
 /// Diagonal-block width of the blocked trsm: the triangle is processed in
 /// kTrsmBlock-wide blocks whose inverses are precomputed once per call so
@@ -76,15 +101,20 @@ inline constexpr int kTrsmBlock = 64;
 /// Narrow B keeps the substitution path.
 void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
           double alpha, const double* t, int ldt, double* b, int ldb);
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
+          float alpha, const float* t, int ldt, float* b, int ldb);
 
 /// Apply the swap sequence ipiv[k1..k2) to rows of the m x n matrix A:
 /// for i = k1..k2-1 (forward) or k2-1..k1 (backward): swap rows i and
 /// ipiv[i].  Matches LAPACK dlaswp with incx = +/-1.
 void laswp(int n, double* a, int lda, int k1, int k2, const int* ipiv,
            bool forward = true);
+void laswp(int n, float* a, int lda, int k1, int k2, const int* ipiv,
+           bool forward = true);
 
 /// Swap rows r1 and r2 across n columns of A.
 void swap_rows(int n, double* a, int lda, int r1, int r2);
+void swap_rows(int n, float* a, int lda, int r1, int r2);
 
 /// Unblocked Gaussian elimination with partial pivoting of the m x n matrix.
 /// On exit A holds L (unit diagonal implicit) and U.  ipiv must have
@@ -92,6 +122,7 @@ void swap_rows(int n, double* a, int lda, int r1, int r2);
 /// the first exactly-zero pivot, or 0 on success; the factorization is
 /// completed either way (zero pivots leave zero columns in L).
 int getf2(int m, int n, double* a, int lda, int* ipiv);
+int getf2(int m, int n, float* a, int lda, int* ipiv);
 
 /// Toledo's recursive LU with partial pivoting — the sequential GEPP
 /// operator the paper uses inside TSLU reductions (reference [23]).
@@ -102,11 +133,14 @@ int getf2(int m, int n, double* a, int lda, int* ipiv);
 /// adds trsm/gemm calls too small to pay for themselves.
 int getrf_recursive(int m, int n, double* a, int lda, int* ipiv,
                     int threshold = 32);
+int getrf_recursive(int m, int n, float* a, int lda, int* ipiv,
+                    int threshold = 32);
 
 /// LU factorization *without* pivoting (recursive, gemm-rich) — the second
 /// step of TSLU: the tournament already permuted good pivots into place.
 /// Returns the index (1-based) of the first zero pivot, or 0.
 int getrf_nopiv(int m, int n, double* a, int lda);
+int getrf_nopiv(int m, int n, float* a, int lda);
 
 /// Symmetric rank-k update, lower triangle only (the Cholesky update):
 ///   C := alpha * A * A^T + beta * C,  C is n x n (lower), A is n x k.

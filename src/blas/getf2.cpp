@@ -12,7 +12,8 @@
 // multiply-subtracts of the classic column-at-a-time elimination, in the
 // same order — pivot sequences and factors are identical to the unblocked
 // algorithm (see the panel contract in microkernel.h; pinned by
-// tests/panel_test.cpp).
+// tests/panel_test.cpp).  The contract holds per precision: the float
+// instantiation matches a float unblocked elimination, not the double one.
 #include "src/blas/blas.h"
 
 #include <algorithm>
@@ -22,25 +23,27 @@
 #include "src/blas/microkernel.h"
 
 namespace calu::blas {
+namespace {
 
-int getrf_nopiv(int m, int n, double* a, int lda) {
+template <class T>
+int getrf_nopiv_impl(int m, int n, T* a, int lda) {
   const int kmin = std::min(m, n);
   if (kmin == 0) return 0;
   if (kmin <= 16) {
     // Unblocked elimination, no pivot search.
     int info = 0;
     for (int j = 0; j < kmin; ++j) {
-      double* col = a + static_cast<std::size_t>(j) * lda;
-      if (col[j] == 0.0) {
+      T* col = a + static_cast<std::size_t>(j) * lda;
+      if (col[j] == T(0)) {
         if (info == 0) info = j + 1;
         continue;
       }
-      const double inv = 1.0 / col[j];
+      const T inv = T(1) / col[j];
       for (int i = j + 1; i < m; ++i) col[i] *= inv;
       for (int jj = j + 1; jj < n; ++jj) {
-        double* cjj = a + static_cast<std::size_t>(jj) * lda;
-        const double ujj = cjj[j];
-        if (ujj == 0.0) continue;
+        T* cjj = a + static_cast<std::size_t>(jj) * lda;
+        const T ujj = cjj[j];
+        if (ujj == T(0)) continue;
         for (int i = j + 1; i < m; ++i) cjj[i] -= col[i] * ujj;
       }
     }
@@ -48,33 +51,30 @@ int getrf_nopiv(int m, int n, double* a, int lda) {
   }
   const int n1 = kmin / 2;
   const int n2 = n - n1;
-  double* a12 = a + static_cast<std::size_t>(n1) * lda;
-  int info = getrf_nopiv(m, n1, a, lda);
-  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, n1, n2, 1.0, a, lda,
+  T* a12 = a + static_cast<std::size_t>(n1) * lda;
+  int info = getrf_nopiv_impl(m, n1, a, lda);
+  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, n1, n2, T(1), a, lda,
        a12, lda);
   if (m > n1) {
-    gemm(Trans::No, Trans::No, m - n1, n2, n1, -1.0, a + n1, lda, a12, lda,
-         1.0, a12 + n1, lda);
-    const int info2 = getrf_nopiv(m - n1, n2, a12 + n1, lda);
+    gemm(Trans::No, Trans::No, m - n1, n2, n1, T(-1), a + n1, lda, a12, lda,
+         T(1), a12 + n1, lda);
+    const int info2 = getrf_nopiv_impl(m - n1, n2, a12 + n1, lda);
     if (info == 0 && info2 != 0) info = info2 + n1;
   }
   return info;
 }
-
-namespace {
 
 // Panel block width: the delayed updates touch each trailing cache line
 // once per kPanelIB rank-1s instead of once per rank-1; the in-block
 // column-at-a-time cost grows as m*ib^2, so moderate widths win.
 constexpr int kPanelIB = 16;
 
-}  // namespace
-
-int getf2(int m, int n, double* a, int lda, int* ipiv) {
+template <class T>
+int getf2_impl(int m, int n, T* a, int lda, int* ipiv) {
   assert(m >= 0 && n >= 0 && lda >= std::max(1, m));
   const int kmin = std::min(m, n);
   if (kmin == 0) return 0;
-  const MicroKernel& mk = active_kernel();
+  const MicroKernelT<T>& mk = active_kernel_t<T>();
   int info = 0;
   for (int j0 = 0; j0 < kmin; j0 += kPanelIB) {
     const int jend = std::min(j0 + kPanelIB, kmin);
@@ -89,12 +89,12 @@ int getf2(int m, int n, double* a, int lda, int* ipiv) {
     bool zero_piv[kPanelIB] = {};
     bool any_zero = false;
     for (int j = j0; j < jend; ++j) {
-      double* col = a + static_cast<std::size_t>(j) * lda;
+      T* col = a + static_cast<std::size_t>(j) * lda;
       const int piv =
           fused_piv >= 0 ? fused_piv : j + mk.iamax(m - j, col + j);
       fused_piv = -1;
       ipiv[j] = piv;
-      if (col[piv] == 0.0) {
+      if (col[piv] == T(0)) {
         // The whole column at/below the diagonal is zero (the scan keeps
         // the first maximum, so piv == j): record, leave L entries zero.
         if (info == 0) info = j + 1;
@@ -107,14 +107,14 @@ int getf2(int m, int n, double* a, int lda, int* ipiv) {
       if (piv != j)
         swap_rows(jend - j0, a + static_cast<std::size_t>(j0) * lda, lda, j,
                   piv);
-      const double inv = 1.0 / col[j];
-      double* sub = col + j + 1;
+      const T inv = T(1) / col[j];
+      T* sub = col + j + 1;
       const int rows = m - j - 1;
       for (int i = 0; i < rows; ++i) sub[i] *= inv;
       if (rows > 0 && j + 1 < jend) {
         // Rank-1 update of the remaining block columns.  The update that
         // finalizes column j+1 doubles as its pivot search.
-        double* nxt = a + static_cast<std::size_t>(j + 1) * lda;
+        T* nxt = a + static_cast<std::size_t>(j + 1) * lda;
         fused_piv = j + 1 + mk.rank1_iamax(rows, sub, nxt[j], nxt + j + 1);
         if (j + 2 < jend)
           mk.panel_update(rows, jend - j - 2, 1, sub, lda,
@@ -130,7 +130,7 @@ int getf2(int m, int n, double* a, int lda, int* ipiv) {
     // gemm-shaped rank-kb update of the rows below the block.
     if (j0 > 0) laswp(j0, a, lda, j0, jend, ipiv);
     if (jend < n) {
-      double* trail = a + static_cast<std::size_t>(jend) * lda;
+      T* trail = a + static_cast<std::size_t>(jend) * lda;
       laswp(n - jend, trail, lda, j0, jend, ipiv);
       for (int p = j0; p < jend - 1; ++p) {
         if (zero_piv[p - j0]) continue;
@@ -158,6 +158,24 @@ int getf2(int m, int n, double* a, int lda, int* ipiv) {
     }
   }
   return info;
+}
+
+}  // namespace
+
+int getrf_nopiv(int m, int n, double* a, int lda) {
+  return getrf_nopiv_impl(m, n, a, lda);
+}
+
+int getrf_nopiv(int m, int n, float* a, int lda) {
+  return getrf_nopiv_impl(m, n, a, lda);
+}
+
+int getf2(int m, int n, double* a, int lda, int* ipiv) {
+  return getf2_impl(m, n, a, lda, ipiv);
+}
+
+int getf2(int m, int n, float* a, int lda, int* ipiv) {
+  return getf2_impl(m, n, a, lda, ipiv);
 }
 
 }  // namespace calu::blas

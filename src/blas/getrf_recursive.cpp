@@ -13,9 +13,11 @@
 #include <cassert>
 
 namespace calu::blas {
+namespace {
 
-int getrf_recursive(int m, int n, double* a, int lda, int* ipiv,
-                    int threshold) {
+template <class T>
+int getrf_recursive_impl(int m, int n, T* a, int lda, int* ipiv,
+                         int threshold) {
   assert(threshold >= 1);
   const int kmin = std::min(m, n);
   if (kmin == 0) return 0;
@@ -23,25 +25,25 @@ int getrf_recursive(int m, int n, double* a, int lda, int* ipiv,
 
   const int n1 = std::min(kmin, n) / 2;
   const int n2 = n - n1;
-  double* a12 = a + static_cast<std::size_t>(n1) * lda;
+  T* a12 = a + static_cast<std::size_t>(n1) * lda;
 
   // Factor the left half.
-  int info = getrf_recursive(m, n1, a, lda, ipiv, threshold);
+  int info = getrf_recursive_impl(m, n1, a, lda, ipiv, threshold);
 
   // Pivots of the left half apply to the right half.
   laswp(n2, a12, lda, 0, n1, ipiv);
 
   // U12 := L11^{-1} A12 ; A22 -= L21 * U12.
-  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, n1, n2, 1.0, a, lda,
+  trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, n1, n2, T(1), a, lda,
        a12, lda);
   if (m > n1)
-    gemm(Trans::No, Trans::No, m - n1, n2, n1, -1.0, a + n1, lda, a12, lda,
-         1.0, a12 + n1, lda);
+    gemm(Trans::No, Trans::No, m - n1, n2, n1, T(-1), a + n1, lda, a12, lda,
+         T(1), a12 + n1, lda);
 
   // Factor the trailing part and fold its pivots back.
   if (m > n1) {
-    const int info2 = getrf_recursive(m - n1, n2, a12 + n1, lda, ipiv + n1,
-                                      threshold);
+    const int info2 =
+        getrf_recursive_impl(m - n1, n2, a12 + n1, lda, ipiv + n1, threshold);
     if (info == 0 && info2 != 0) info = info2 + n1;
     const int k2 = std::min(m - n1, n2);
     for (int i = 0; i < k2; ++i) ipiv[n1 + i] += n1;
@@ -49,6 +51,18 @@ int getrf_recursive(int m, int n, double* a, int lda, int* ipiv,
     laswp(n1, a, lda, n1, n1 + k2, ipiv);
   }
   return info;
+}
+
+}  // namespace
+
+int getrf_recursive(int m, int n, double* a, int lda, int* ipiv,
+                    int threshold) {
+  return getrf_recursive_impl(m, n, a, lda, ipiv, threshold);
+}
+
+int getrf_recursive(int m, int n, float* a, int lda, int* ipiv,
+                    int threshold) {
+  return getrf_recursive_impl(m, n, a, lda, ipiv, threshold);
 }
 
 }  // namespace calu::blas

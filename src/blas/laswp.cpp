@@ -16,11 +16,13 @@
 #include <utility>
 
 namespace calu::blas {
+namespace {
 
-void swap_rows(int n, double* a, int lda, int r1, int r2) {
+template <class T>
+void swap_rows_impl(int n, T* a, int lda, int r1, int r2) {
   if (r1 == r2) return;
-  double* p1 = a + r1;
-  double* p2 = a + r2;
+  T* p1 = a + r1;
+  T* p2 = a + r2;
   for (int j = 0; j < n; ++j) {
     std::swap(*p1, *p2);
     p1 += lda;
@@ -28,18 +30,16 @@ void swap_rows(int n, double* a, int lda, int r1, int r2) {
   }
 }
 
-namespace {
-
 constexpr int kSweepCols = 4;  // columns fused per swap sweep
 
-template <bool Forward>
-void sweep(int n, double* a, int lda, int k1, int k2, const int* ipiv) {
+template <bool Forward, class T>
+void sweep(int n, T* a, int lda, int k1, int k2, const int* ipiv) {
   int j = 0;
   for (; j + kSweepCols <= n; j += kSweepCols) {
-    double* c0 = a + static_cast<std::size_t>(j) * lda;
-    double* c1 = c0 + lda;
-    double* c2 = c1 + lda;
-    double* c3 = c2 + lda;
+    T* c0 = a + static_cast<std::size_t>(j) * lda;
+    T* c1 = c0 + lda;
+    T* c2 = c1 + lda;
+    T* c3 = c2 + lda;
     for (int s = 0; s < k2 - k1; ++s) {
       const int i = Forward ? k1 + s : k2 - 1 - s;
       const int p = ipiv[i];
@@ -51,7 +51,7 @@ void sweep(int n, double* a, int lda, int k1, int k2, const int* ipiv) {
     }
   }
   for (; j < n; ++j) {
-    double* cj = a + static_cast<std::size_t>(j) * lda;
+    T* cj = a + static_cast<std::size_t>(j) * lda;
     for (int s = 0; s < k2 - k1; ++s) {
       const int i = Forward ? k1 + s : k2 - 1 - s;
       const int p = ipiv[i];
@@ -60,16 +60,35 @@ void sweep(int n, double* a, int lda, int k1, int k2, const int* ipiv) {
   }
 }
 
-}  // namespace
-
-void laswp(int n, double* a, int lda, int k1, int k2, const int* ipiv,
-           bool forward) {
+template <class T>
+void laswp_impl(int n, T* a, int lda, int k1, int k2, const int* ipiv,
+                bool forward) {
   assert(k1 >= 0 && k2 >= k1);
   if (n <= 0 || k2 == k1) return;
   if (forward)
     sweep<true>(n, a, lda, k1, k2, ipiv);
   else
     sweep<false>(n, a, lda, k1, k2, ipiv);
+}
+
+}  // namespace
+
+void swap_rows(int n, double* a, int lda, int r1, int r2) {
+  swap_rows_impl(n, a, lda, r1, r2);
+}
+
+void swap_rows(int n, float* a, int lda, int r1, int r2) {
+  swap_rows_impl(n, a, lda, r1, r2);
+}
+
+void laswp(int n, double* a, int lda, int k1, int k2, const int* ipiv,
+           bool forward) {
+  laswp_impl(n, a, lda, k1, k2, ipiv, forward);
+}
+
+void laswp(int n, float* a, int lda, int k1, int k2, const int* ipiv,
+           bool forward) {
+  laswp_impl(n, a, lda, k1, k2, ipiv, forward);
 }
 
 }  // namespace calu::blas

@@ -10,6 +10,16 @@
 // into C (see microkernel.h) — and live in their own translation unit
 // (panel_kernels.cpp, compiled with -ffp-contract=off) so that pinning
 // their rounding never taxes the kernels here, which want contraction.
+//
+// Two dispatch tables live here, one per precision, with the same
+// variant names in the same order; a single atomic index selects the
+// active variant for BOTH so a CALU_KERNEL pin or select_kernel() call
+// governs float and double alike.  The float kernels double the lanes of
+// the same silicon: 24x8 doubles -> 48x8 floats on avx512, 8x6 -> 16x6
+// on avx2.  The float trsm leaves are written once against avx2+fma and
+// shared by the avx512 float entry — every avx512f CPU has avx2+fma, and
+// an 8x8 float leaf fits a ymm column exactly, so a zmm version would
+// only waste half its lanes.
 #include "src/blas/microkernel.h"
 
 #include "src/blas/panel_kernels.h"
@@ -37,34 +47,35 @@ namespace {
 
 // ------------------------------------------------------ generic kernel ---
 
-template <int MR, int NR>
-void kernel_c(int kc, double alpha, const double* ap, const double* bp,
-              double* c, int ldc, int mr, int nr) {
-  double acc[MR * NR] = {};
+template <class T, int MR, int NR>
+void kernel_c(int kc, T alpha, const T* ap, const T* bp, T* c, int ldc,
+              int mr, int nr) {
+  T acc[MR * NR] = {};
   for (int p = 0; p < kc; ++p) {
-    const double* a = ap + static_cast<std::size_t>(p) * MR;
-    const double* b = bp + static_cast<std::size_t>(p) * NR;
+    const T* a = ap + static_cast<std::size_t>(p) * MR;
+    const T* b = bp + static_cast<std::size_t>(p) * NR;
     for (int j = 0; j < NR; ++j) {
-      const double bj = b[j];
-      double* accj = acc + j * MR;
+      const T bj = b[j];
+      T* accj = acc + j * MR;
       for (int i = 0; i < MR; ++i) accj[i] += a[i] * bj;
     }
   }
   for (int j = 0; j < nr; ++j) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
-    const double* accj = acc + j * MR;
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    const T* accj = acc + j * MR;
     for (int i = 0; i < mr; ++i) cj[i] += alpha * accj[i];
   }
 }
 
 // ---------------------------------------------- generic trsm leaves ---
 
-void trsm_leaf_left_c(int kb, int n, const double* inv, double* b, int ldb) {
-  double x[16];
+template <class T>
+void trsm_leaf_left_c(int kb, int n, const T* inv, T* b, int ldb) {
+  T x[16];
   for (int j = 0; j < n; ++j) {
-    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* bj = b + static_cast<std::size_t>(j) * ldb;
     for (int i = 0; i < kb; ++i) {
-      double s = 0.0;
+      T s = T(0);
       for (int p = 0; p < kb; ++p)
         s += inv[i + static_cast<std::size_t>(p) * kb] * bj[p];
       x[i] = s;
@@ -73,11 +84,12 @@ void trsm_leaf_left_c(int kb, int n, const double* inv, double* b, int ldb) {
   }
 }
 
-void trsm_leaf_right_c(int m, int kb, const double* inv, double* b, int ldb) {
-  double x[16];
+template <class T>
+void trsm_leaf_right_c(int m, int kb, const T* inv, T* b, int ldb) {
+  T x[16];
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < kb; ++j) {
-      double s = 0.0;
+      T s = T(0);
       for (int p = 0; p < kb; ++p)
         s += b[i + static_cast<std::size_t>(p) * ldb] *
              inv[p + static_cast<std::size_t>(j) * kb];
@@ -152,6 +164,72 @@ __attribute__((target("avx2,fma"))) void trsm_leaf_right_avx2(
       for (int p = 1; p < 8; ++p)
         acc = _mm256_fmadd_pd(in[p], _mm256_set1_pd(cj[p]), acc);
       _mm256_storeu_pd(b + i + static_cast<std::size_t>(j) * ldb, acc);
+    }
+  }
+  if (i < m) trsm_leaf_right_c(m - i, 8, inv, b + i, ldb);
+}
+
+// -------------------------------------------- float trsm leaves (avx2) ---
+// An 8x8 float leaf column is exactly one ymm vector, so avx2+fma is the
+// natural width at both dispatch tiers; the avx512 float table entry
+// reuses these (avx512f hardware always has avx2+fma).
+
+__attribute__((target("avx2,fma"))) void trsm_leaf_left_avx2(
+    int kb, int n, const float* inv, float* b, int ldb) {
+  if (kb != 8) {
+    trsm_leaf_left_c(kb, n, inv, b, ldb);
+    return;
+  }
+  __m256 ic[8];
+  for (int p = 0; p < 8; ++p)
+    ic[p] = _mm256_loadu_ps(inv + p * 8);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    float* b0 = b + static_cast<std::size_t>(j) * ldb;
+    float* b1 = b0 + ldb;
+    float* b2 = b1 + ldb;
+    float* b3 = b2 + ldb;
+    __m256 a0 = _mm256_mul_ps(ic[0], _mm256_set1_ps(b0[0]));
+    __m256 a1 = _mm256_mul_ps(ic[0], _mm256_set1_ps(b1[0]));
+    __m256 a2 = _mm256_mul_ps(ic[0], _mm256_set1_ps(b2[0]));
+    __m256 a3 = _mm256_mul_ps(ic[0], _mm256_set1_ps(b3[0]));
+    for (int p = 1; p < 8; ++p) {
+      a0 = _mm256_fmadd_ps(ic[p], _mm256_set1_ps(b0[p]), a0);
+      a1 = _mm256_fmadd_ps(ic[p], _mm256_set1_ps(b1[p]), a1);
+      a2 = _mm256_fmadd_ps(ic[p], _mm256_set1_ps(b2[p]), a2);
+      a3 = _mm256_fmadd_ps(ic[p], _mm256_set1_ps(b3[p]), a3);
+    }
+    _mm256_storeu_ps(b0, a0);
+    _mm256_storeu_ps(b1, a1);
+    _mm256_storeu_ps(b2, a2);
+    _mm256_storeu_ps(b3, a3);
+  }
+  for (; j < n; ++j) {
+    float* bj = b + static_cast<std::size_t>(j) * ldb;
+    __m256 a = _mm256_mul_ps(ic[0], _mm256_set1_ps(bj[0]));
+    for (int p = 1; p < 8; ++p)
+      a = _mm256_fmadd_ps(ic[p], _mm256_set1_ps(bj[p]), a);
+    _mm256_storeu_ps(bj, a);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void trsm_leaf_right_avx2(
+    int m, int kb, const float* inv, float* b, int ldb) {
+  if (kb != 8) {
+    trsm_leaf_right_c(m, kb, inv, b, ldb);
+    return;
+  }
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    __m256 in[8];
+    for (int p = 0; p < 8; ++p)
+      in[p] = _mm256_loadu_ps(b + i + static_cast<std::size_t>(p) * ldb);
+    for (int j = 0; j < 8; ++j) {
+      const float* cj = inv + j * 8;
+      __m256 acc = _mm256_mul_ps(in[0], _mm256_set1_ps(cj[0]));
+      for (int p = 1; p < 8; ++p)
+        acc = _mm256_fmadd_ps(in[p], _mm256_set1_ps(cj[p]), acc);
+      _mm256_storeu_ps(b + i + static_cast<std::size_t>(j) * ldb, acc);
     }
   }
   if (i < m) trsm_leaf_right_c(m - i, 8, inv, b + i, ldb);
@@ -260,6 +338,48 @@ __attribute__((target("avx2,fma"))) void kernel_avx2(
   }
 }
 
+// --------------------------------------------------- avx2 float kernel ---
+// 16x6: the double kernel's shape at doubled lanes (two ymm of 8 floats).
+
+__attribute__((target("avx2,fma"))) void kernel_avx2_f(
+    int kc, float alpha, const float* ap, const float* bp, float* c, int ldc,
+    int mr, int nr) {
+  __m256 acc0[6], acc1[6];
+  for (int j = 0; j < 6; ++j) acc0[j] = acc1[j] = _mm256_setzero_ps();
+  for (int p = 0; p < kc; ++p) {
+    const __m256 a0 = _mm256_loadu_ps(ap);
+    const __m256 a1 = _mm256_loadu_ps(ap + 8);
+    ap += 16;
+    for (int j = 0; j < 6; ++j) {
+      const __m256 b = _mm256_set1_ps(bp[j]);
+      acc0[j] = _mm256_fmadd_ps(a0, b, acc0[j]);
+      acc1[j] = _mm256_fmadd_ps(a1, b, acc1[j]);
+    }
+    bp += 6;
+  }
+  if (mr == 16 && nr == 6) {
+    const __m256 av = _mm256_set1_ps(alpha);
+    for (int j = 0; j < 6; ++j) {
+      float* cj = c + static_cast<std::size_t>(j) * ldc;
+      _mm256_storeu_ps(cj,
+                       _mm256_fmadd_ps(av, acc0[j], _mm256_loadu_ps(cj)));
+      _mm256_storeu_ps(
+          cj + 8, _mm256_fmadd_ps(av, acc1[j], _mm256_loadu_ps(cj + 8)));
+    }
+    return;
+  }
+  float tmp[16 * 6];
+  for (int j = 0; j < 6; ++j) {
+    _mm256_storeu_ps(tmp + j * 16, acc0[j]);
+    _mm256_storeu_ps(tmp + j * 16 + 8, acc1[j]);
+  }
+  for (int j = 0; j < nr; ++j) {
+    float* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < mr; ++i)
+      cj[i] = std::fma(alpha, tmp[j * 16 + i], cj[i]);
+  }
+}
+
 // ------------------------------------------------------- avx512 kernel ---
 // 24x8: 24 zmm accumulators + 3 A vectors + 1 broadcast = 28 of 32 regs
 // (the BLIS Skylake shape).
@@ -308,6 +428,54 @@ __attribute__((target("avx512f"))) void kernel_avx512(
   }
 }
 
+// ------------------------------------------------- avx512 float kernel ---
+// 48x8: the 24x8 double shape at doubled lanes — three zmm of 16 floats,
+// 24 accumulators + 3 A vectors + 1 broadcast = 28 of 32 regs.
+
+__attribute__((target("avx512f"))) void kernel_avx512_f(
+    int kc, float alpha, const float* ap, const float* bp, float* c, int ldc,
+    int mr, int nr) {
+  __m512 acc0[8], acc1[8], acc2[8];
+  for (int j = 0; j < 8; ++j) acc0[j] = acc1[j] = acc2[j] = _mm512_setzero_ps();
+  for (int p = 0; p < kc; ++p) {
+    const __m512 a0 = _mm512_loadu_ps(ap);
+    const __m512 a1 = _mm512_loadu_ps(ap + 16);
+    const __m512 a2 = _mm512_loadu_ps(ap + 32);
+    ap += 48;
+    for (int j = 0; j < 8; ++j) {
+      const __m512 b = _mm512_set1_ps(bp[j]);
+      acc0[j] = _mm512_fmadd_ps(a0, b, acc0[j]);
+      acc1[j] = _mm512_fmadd_ps(a1, b, acc1[j]);
+      acc2[j] = _mm512_fmadd_ps(a2, b, acc2[j]);
+    }
+    bp += 8;
+  }
+  if (mr == 48 && nr == 8) {
+    const __m512 av = _mm512_set1_ps(alpha);
+    for (int j = 0; j < 8; ++j) {
+      float* cj = c + static_cast<std::size_t>(j) * ldc;
+      _mm512_storeu_ps(cj,
+                       _mm512_fmadd_ps(av, acc0[j], _mm512_loadu_ps(cj)));
+      _mm512_storeu_ps(
+          cj + 16, _mm512_fmadd_ps(av, acc1[j], _mm512_loadu_ps(cj + 16)));
+      _mm512_storeu_ps(
+          cj + 32, _mm512_fmadd_ps(av, acc2[j], _mm512_loadu_ps(cj + 32)));
+    }
+    return;
+  }
+  float tmp[48 * 8];
+  for (int j = 0; j < 8; ++j) {
+    _mm512_storeu_ps(tmp + j * 48, acc0[j]);
+    _mm512_storeu_ps(tmp + j * 48 + 16, acc1[j]);
+    _mm512_storeu_ps(tmp + j * 48 + 32, acc2[j]);
+  }
+  for (int j = 0; j < nr; ++j) {
+    float* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < mr; ++i)
+      cj[i] = std::fma(alpha, tmp[j * 48 + i], cj[i]);
+  }
+}
+
 #endif  // CALU_X86
 
 // --------------------------------------------- cache-derived blocking ---
@@ -336,15 +504,20 @@ int round_block(long v, int unit, long lo, long hi) {
 
 /// Classic Goto sizing: the kc-deep A and B register strips together stay
 /// resident in L1, an mc x kc packed A block in ~half of L2, a kc x nc
-/// packed B panel in ~half of L3.
-void derive_blocking(MicroKernel& k, const CacheInfo& ci) {
-  const long kc = ci.l1 / (8L * (k.mr + k.nr));
+/// packed B panel in ~half of L3 — all in bytes of the kernel's scalar
+/// type, so the float tables get deeper/wider blocks from the same caches.
+template <class T>
+void derive_blocking(MicroKernelT<T>& k, const CacheInfo& ci) {
+  const long es = static_cast<long>(sizeof(T));
+  const long kc = ci.l1 / (es * (k.mr + k.nr));
   k.kc = round_block(kc, 8, 128, 512);
-  k.mc = round_block(ci.l2 / (2L * 8L * k.kc), k.mr, 4L * k.mr, 1536);
-  k.nc = round_block(ci.l3 / (2L * 8L * k.kc), k.nr, 16L * k.nr, 8192);
+  k.mc = round_block(ci.l2 / (2L * es * k.kc), k.mr, 4L * k.mr, 1536);
+  k.nc = round_block(ci.l3 / (2L * es * k.kc), k.nr, 16L * k.nr, 8192);
 }
 
 // ------------------------------------------------------------ dispatch ---
+// Both precision tables hold the same variant names in the same order;
+// one atomic index selects the active entry of each.
 
 std::vector<MicroKernel> build_table() {
   const CacheInfo ci = cache_info();
@@ -383,12 +556,63 @@ std::vector<MicroKernel> build_table() {
   k.name = "generic";
   k.mr = 8;
   k.nr = 4;
-  k.fn = kernel_c<8, 4>;
-  k.panel_update = panelk::panel_update_c;
-  k.rank1_iamax = panelk::rank1_iamax_c;
-  k.iamax = panelk::iamax_c;
-  k.trsm_leaf_left = trsm_leaf_left_c;
-  k.trsm_leaf_right = trsm_leaf_right_c;
+  k.fn = kernel_c<double, 8, 4>;
+  k.panel_update = panelk::panel_update_c<double>;
+  k.rank1_iamax = panelk::rank1_iamax_c<double>;
+  k.iamax = panelk::iamax_c<double>;
+  k.trsm_leaf_left = trsm_leaf_left_c<double>;
+  k.trsm_leaf_right = trsm_leaf_right_c<double>;
+  derive_blocking(k, ci);
+  t.push_back(k);
+  return t;
+}
+
+std::vector<MicroKernelT<float>> build_table_f() {
+  const CacheInfo ci = cache_info();
+  std::vector<MicroKernelT<float>> t;
+#if CALU_X86
+  if (__builtin_cpu_supports("avx512f")) {
+    MicroKernelT<float> k;
+    k.name = "avx512";
+    k.mr = 48;
+    k.nr = 8;
+    k.fn = kernel_avx512_f;
+    k.panel_update = panelk::panel_update_avx512;
+    k.rank1_iamax = panelk::rank1_iamax_avx512;
+    k.iamax = panelk::iamax_avx512;
+    k.trsm_leaf_left = trsm_leaf_left_avx2;  // ymm-exact 8x8 float leaf
+    k.trsm_leaf_right = trsm_leaf_right_avx2;
+    derive_blocking(k, ci);
+    t.push_back(k);
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    MicroKernelT<float> k;
+    k.name = "avx2";
+    k.mr = 16;
+    k.nr = 6;
+    k.fn = kernel_avx2_f;
+    k.panel_update = panelk::panel_update_avx2;
+    k.rank1_iamax = panelk::rank1_iamax_avx2;
+    k.iamax = panelk::iamax_avx2;
+    k.trsm_leaf_left = trsm_leaf_left_avx2;
+    k.trsm_leaf_right = trsm_leaf_right_avx2;
+    derive_blocking(k, ci);
+    t.push_back(k);
+  }
+#endif
+  MicroKernelT<float> k;
+  k.name = "generic";
+  // Same 8x4 shape as the double generic kernel: a 16-row float
+  // accumulator is exactly the 16 XMM registers, so GCC spills it every
+  // iteration (measured ~4x slower than 8x4 at -O3 baseline ISA).
+  k.mr = 8;
+  k.nr = 4;
+  k.fn = kernel_c<float, 8, 4>;
+  k.panel_update = panelk::panel_update_c<float>;
+  k.rank1_iamax = panelk::rank1_iamax_c<float>;
+  k.iamax = panelk::iamax_c<float>;
+  k.trsm_leaf_left = trsm_leaf_left_c<float>;
+  k.trsm_leaf_right = trsm_leaf_right_c<float>;
   derive_blocking(k, ci);
   t.push_back(k);
   return t;
@@ -399,11 +623,16 @@ const std::vector<MicroKernel>& kernel_table() {
   return table;
 }
 
-const MicroKernel* auto_pick() {
+const std::vector<MicroKernelT<float>>& kernel_table_f() {
+  static const std::vector<MicroKernelT<float>> table = build_table_f();
+  return table;
+}
+
+int auto_pick() {
   const std::vector<MicroKernel>& t = kernel_table();
   if (const char* env = std::getenv("CALU_KERNEL")) {
-    for (const MicroKernel& k : t)
-      if (std::strcmp(k.name, env) == 0) return &k;
+    for (std::size_t i = 0; i < t.size(); ++i)
+      if (std::strcmp(t[i].name, env) == 0) return static_cast<int>(i);
     // A typo'd pin silently running the best SIMD kernel would defeat
     // e.g. CI's generic-path conformance run — fail loudly instead.
     std::fprintf(stderr,
@@ -413,21 +642,33 @@ const MicroKernel* auto_pick() {
     std::fprintf(stderr, "); aborting\n");
     std::abort();
   }
-  return &t.front();  // best supported first
+  return 0;  // best supported first
 }
 
-std::atomic<const MicroKernel*> g_active{nullptr};
+std::atomic<int> g_active{-1};
+
+int active_index() {
+  int idx = g_active.load(std::memory_order_acquire);
+  if (idx < 0) {
+    // Benign race: concurrent first callers compute the same answer.
+    idx = auto_pick();
+    g_active.store(idx, std::memory_order_release);
+  }
+  return idx;
+}
 
 }  // namespace
 
-const MicroKernel& active_kernel() {
-  const MicroKernel* k = g_active.load(std::memory_order_acquire);
-  if (!k) {
-    // Benign race: concurrent first callers compute the same answer.
-    k = auto_pick();
-    g_active.store(k, std::memory_order_release);
-  }
-  return *k;
+const MicroKernel& active_kernel() { return kernel_table()[active_index()]; }
+
+template <>
+const MicroKernelT<double>& active_kernel_t<double>() {
+  return kernel_table()[active_index()];
+}
+
+template <>
+const MicroKernelT<float>& active_kernel_t<float>() {
+  return kernel_table_f()[active_index()];
 }
 
 bool select_kernel(const char* name) {
@@ -435,9 +676,10 @@ bool select_kernel(const char* name) {
     g_active.store(auto_pick(), std::memory_order_release);
     return true;
   }
-  for (const MicroKernel& k : kernel_table()) {
-    if (std::strcmp(k.name, name) == 0) {
-      g_active.store(&k, std::memory_order_release);
+  const std::vector<MicroKernel>& t = kernel_table();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (std::strcmp(t[i].name, name) == 0) {
+      g_active.store(static_cast<int>(i), std::memory_order_release);
       return true;
     }
   }

@@ -5,23 +5,32 @@
 // near peak.  This layer provides the register kernel of the Goto/BLIS
 // decomposition as a function-pointer table selected once at startup:
 //
-//   "avx512"  — 24x8 kernel on 512-bit vectors (__builtin_cpu_supports)
-//   "avx2"    — 8x6 kernel on 256-bit FMA vectors
-//   "generic" — 8x4 portable C++ kernel (always available; the fallback)
+//   "avx512"  — 24x8 double / 48x8 float kernel on 512-bit vectors
+//               (__builtin_cpu_supports)
+//   "avx2"    — 8x6 double / 16x6 float kernel on 256-bit FMA vectors
+//   "generic" — 8x4 portable C++ kernel at both precisions (always
+//               available; the fallback — a 16-row float accumulator
+//               would spill the entire baseline XMM file)
+//
+// Every variant exists at BOTH precisions under the same name: float32
+// doubles the SIMD lanes of the same silicon, which is the whole
+// mixed-precision speedup (gesv_mixed, solve.h).  select_kernel() pins the
+// double and float tables together so a CALU_KERNEL pin or a test-fixture
+// selection governs both precisions at once.
 //
 // Cache blocking (mc/kc/nc) is derived from the detected L1/L2/L3 sizes
-// instead of hard-coded constants, so the same binary blocks sensibly on
-// any host.  All kernels consume operands packed by gemm_pack_a/_b
-// (blas.h): A in mr-row strips, B in nr-column strips, zero-padded to full
-// strips, split into kc-deep blocks.
+// and sizeof(T) instead of hard-coded constants, so the same binary blocks
+// sensibly on any host at either precision.  All kernels consume operands
+// packed by gemm_pack_a/_b (blas.h): A in mr-row strips, B in nr-column
+// strips, zero-padded to full strips, split into kc-deep blocks.
 //
-// Numerical contract: for a fixed kernel variant, the value written to any
-// C element depends only on (its row of packed A, its column of packed B,
-// alpha) — never on strip boundaries or on whether the edge or the full
-// write-back path ran.  That is what makes "pack once per panel" vs "pack
-// per task" bit-identical, and it is enforced by using fused
-// multiply-adds in both the vector and the edge write-back of the SIMD
-// kernels.
+// Numerical contract: for a fixed kernel variant and precision, the value
+// written to any C element depends only on (its row of packed A, its
+// column of packed B, alpha) — never on strip boundaries or on whether the
+// edge or the full write-back path ran.  That is what makes "pack once per
+// panel" vs "pack per task" bit-identical, and it is enforced by using
+// fused multiply-adds in both the vector and the edge write-back of the
+// SIMD kernels.
 #pragma once
 
 #include <string>
@@ -33,9 +42,10 @@ namespace calu::blas {
 /// `ap` is an mr_max-row strip (kc entries of mr_max values), `bp` an
 /// nr_max-column strip; mr/nr mask the write-back for edge tiles (the
 /// packed data itself is always padded to the full strip).
-using MicroKernelFn = void (*)(int kc, double alpha, const double* ap,
-                               const double* bp, double* c, int ldc, int mr,
-                               int nr);
+template <class T>
+using MicroKernelFnT = void (*)(int kc, T alpha, const T* ap, const T* bp,
+                                T* c, int ldc, int mr, int nr);
+using MicroKernelFn = MicroKernelFnT<double>;
 
 // --- panel-factorization kernels ---------------------------------------
 //
@@ -55,23 +65,29 @@ using MicroKernelFn = void (*)(int kc, double alpha, const double* ap,
 // then-merge rounding of the gemm micro-kernel, and never a fused
 // multiply-add — they live in panel_kernels.cpp, compiled with
 // -ffp-contract=off, to pin this down).  Vectorizing across rows is
-// free: each element's chain is untouched.
+// free: each element's chain is untouched.  The contract holds per
+// precision: the float instantiations chain float roundings the same way.
 
 /// C(0:m, 0:n) -= L(0:m, 0:kb) * U(0:kb, 0:n), all column-major,
 /// accumulating directly into C in ascending-p order with mul-then-sub
 /// rounding — bit-identical to kb successive rank-1 updates.
-using PanelUpdateFn = void (*)(int m, int n, int kb, const double* l,
-                               int ldl, const double* u, int ldu, double* c,
-                               int ldc);
+template <class T>
+using PanelUpdateFnT = void (*)(int m, int n, int kb, const T* l, int ldl,
+                                const T* u, int ldu, T* c, int ldc);
+using PanelUpdateFn = PanelUpdateFnT<double>;
 
 /// Fused rank-1 update + pivot search: c[i] -= l[i] * u for i in [0, m)
 /// (mul-then-sub), returning the smallest index attaining max |c[i]| —
 /// exactly the ascending strictly-greater scan of unblocked getf2, with
 /// the search folded into the update pass that finalizes the column.
-using Rank1IamaxFn = int (*)(int m, const double* l, double u, double* c);
+template <class T>
+using Rank1IamaxFnT = int (*)(int m, const T* l, T u, T* c);
+using Rank1IamaxFn = Rank1IamaxFnT<double>;
 
 /// Smallest index attaining max |x[i]|, i in [0, m); m >= 1.
-using IamaxFn = int (*)(int m, const double* x);
+template <class T>
+using IamaxFnT = int (*)(int m, const T* x);
+using IamaxFn = IamaxFnT<double>;
 
 // --- trsm leaf kernels -------------------------------------------------
 //
@@ -88,24 +104,29 @@ inline constexpr int kTrsmLeafNB = 8;
 
 /// B(0:kb, 0:n) := inv * B in place; inv is kb x kb, column-major,
 /// contiguous (ld = kb), kb <= 16 (fast path at kb == kTrsmLeafNB).
-using TrsmLeafLeftFn = void (*)(int kb, int n, const double* inv, double* b,
-                                int ldb);
+template <class T>
+using TrsmLeafLeftFnT = void (*)(int kb, int n, const T* inv, T* b, int ldb);
+using TrsmLeafLeftFn = TrsmLeafLeftFnT<double>;
 
 /// B(0:m, 0:kb) := B * inv in place; same inv conventions.
-using TrsmLeafRightFn = void (*)(int m, int kb, const double* inv, double* b,
-                                 int ldb);
+template <class T>
+using TrsmLeafRightFnT = void (*)(int m, int kb, const T* inv, T* b,
+                                  int ldb);
+using TrsmLeafRightFn = TrsmLeafRightFnT<double>;
 
-struct MicroKernel {
+template <class T>
+struct MicroKernelT {
   const char* name = "generic";
   int mr = 8, nr = 4;  // register tile
   int mc = 256, kc = 256, nc = 4096;  // cache blocking (derived at startup)
-  MicroKernelFn fn = nullptr;
-  PanelUpdateFn panel_update = nullptr;
-  Rank1IamaxFn rank1_iamax = nullptr;
-  IamaxFn iamax = nullptr;
-  TrsmLeafLeftFn trsm_leaf_left = nullptr;
-  TrsmLeafRightFn trsm_leaf_right = nullptr;
+  MicroKernelFnT<T> fn = nullptr;
+  PanelUpdateFnT<T> panel_update = nullptr;
+  Rank1IamaxFnT<T> rank1_iamax = nullptr;
+  IamaxFnT<T> iamax = nullptr;
+  TrsmLeafLeftFnT<T> trsm_leaf_left = nullptr;
+  TrsmLeafRightFnT<T> trsm_leaf_right = nullptr;
 };
+using MicroKernel = MicroKernelT<double>;
 
 /// The panel kernels' elementary operation, for writing bit-exact
 /// references in tests: one multiply and one subtract, each individually
@@ -115,21 +136,36 @@ inline double mul_then_sub(double c, double a, double b) {
   volatile double p = a * b;
   return c - p;
 }
+inline float mul_then_sub(float c, float a, float b) {
+  volatile float p = a * b;
+  return c - p;
+}
 
-/// The kernel the process dispatches to.  Selected once (thread-safe, on
-/// first use) as: $CALU_KERNEL if set, else the best variant the CPU
-/// supports.  A CALU_KERNEL naming no available variant aborts — a
-/// silently ignored pin would defeat CI's forced-generic conformance run.
+/// The double kernel the process dispatches to.  Selected once
+/// (thread-safe, on first use) as: $CALU_KERNEL if set, else the best
+/// variant the CPU supports.  A CALU_KERNEL naming no available variant
+/// aborts — a silently ignored pin would defeat CI's forced-generic
+/// conformance run.
 const MicroKernel& active_kernel();
 
-/// Forces a variant by name ("avx512", "avx2", "generic"); nullptr or ""
-/// restores automatic selection.  Returns false (and leaves the selection
-/// unchanged) if the name is unknown or unsupported on this CPU.  Not
-/// thread-safe against concurrent gemm calls — a test/bench hook; call it
-/// only from single-threaded sections.
+/// Precision-generic accessor: the active kernel's entry in the table of
+/// the requested scalar type.  Both precisions always dispatch the same
+/// variant name.
+template <class T>
+const MicroKernelT<T>& active_kernel_t();
+template <>
+const MicroKernelT<double>& active_kernel_t<double>();
+template <>
+const MicroKernelT<float>& active_kernel_t<float>();
+
+/// Forces a variant by name ("avx512", "avx2", "generic") at BOTH
+/// precisions; nullptr or "" restores automatic selection.  Returns false
+/// (and leaves the selection unchanged) if the name is unknown or
+/// unsupported on this CPU.  Not thread-safe against concurrent gemm
+/// calls — a test/bench hook; call it only from single-threaded sections.
 bool select_kernel(const char* name);
 
-/// Variants supported on this CPU, best first.
+/// Variants supported on this CPU, best first (same list per precision).
 std::vector<std::string> available_kernels();
 
 /// Detected cache sizes in bytes (fallback defaults when undetectable);

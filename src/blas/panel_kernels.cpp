@@ -16,6 +16,11 @@
 // decisions.
 // The gemm and trsm-leaf kernels live in microkernel.cpp, outside the
 // flag's reach, because they want contraction.
+//
+// Both precisions live here: the float kernels are lane-doubled mirrors
+// of the double ones (8->16 rows per avx2 block, 16->32 per avx512
+// block) with the identical skip/NaN semantics, so the float panel
+// factorization is bit-identical to float unblocked elimination too.
 #include "src/blas/panel_kernels.h"
 
 #include <algorithm>
@@ -38,25 +43,27 @@ namespace calu::blas::panelk {
 // exactly that of unblocked elimination (mul-then-sub is pinned by this
 // TU's -ffp-contract=off).
 
-void panel_update_c(int m, int n, int kb, const double* l, int ldl,
-                    const double* u, int ldu, double* c, int ldc) {
+template <class T>
+void panel_update_c(int m, int n, int kb, const T* l, int ldl, const T* u,
+                    int ldu, T* c, int ldc) {
   for (int j = 0; j < n; ++j) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
-    const double* uj = u + static_cast<std::size_t>(j) * ldu;
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    const T* uj = u + static_cast<std::size_t>(j) * ldu;
     for (int p = 0; p < kb; ++p) {
-      const double up = uj[p];
-      if (up == 0.0) continue;
-      const double* lp = l + static_cast<std::size_t>(p) * ldl;
+      const T up = uj[p];
+      if (up == T(0)) continue;
+      const T* lp = l + static_cast<std::size_t>(p) * ldl;
       for (int i = 0; i < m; ++i) cj[i] -= lp[i] * up;
     }
   }
 }
 
-int iamax_c(int m, const double* x) {
+template <class T>
+int iamax_c(int m, const T* x) {
   int piv = 0;
-  double best = std::fabs(x[0]);
+  T best = std::fabs(x[0]);
   for (int i = 1; i < m; ++i) {
-    const double v = std::fabs(x[i]);
+    const T v = std::fabs(x[i]);
     if (v > best) {
       best = v;
       piv = i;
@@ -65,13 +72,23 @@ int iamax_c(int m, const double* x) {
   return piv;
 }
 
-int rank1_iamax_c(int m, const double* l, double u, double* c) {
+template <class T>
+int rank1_iamax_c(int m, const T* l, T u, T* c) {
   // A zero multiplier means the unblocked algorithm skipped the update
   // entirely; the fused form then degenerates to the plain pivot scan.
-  if (u == 0.0) return iamax_c(m, c);
+  if (u == T(0)) return iamax_c(m, c);
   for (int i = 0; i < m; ++i) c[i] -= l[i] * u;
   return iamax_c(m, c);
 }
+
+template void panel_update_c<double>(int, int, int, const double*, int,
+                                     const double*, int, double*, int);
+template int rank1_iamax_c<double>(int, const double*, double, double*);
+template int iamax_c<double>(int, const double*);
+template void panel_update_c<float>(int, int, int, const float*, int,
+                                    const float*, int, float*, int);
+template int rank1_iamax_c<float>(int, const float*, float, float*);
+template int iamax_c<float>(int, const float*);
 
 #if CALU_X86
 
@@ -143,6 +160,10 @@ __attribute__((target("avx2"))) inline __m256d abs256(__m256d v) {
   return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
 }
 
+__attribute__((target("avx2"))) inline __m256 abs256f(__m256 v) {
+  return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), v);
+}
+
 // Shared max-then-find-first tail: |values| are exact, so locating the
 // smallest index equal to the running maximum reproduces the ascending
 // strictly-greater scan of unblocked getf2 exactly — for finite data.
@@ -152,7 +173,8 @@ __attribute__((target("avx2"))) inline __m256d abs256(__m256d v) {
 // with the scalar reference semantics (NaN never selected, best seeded
 // from element 0) — all dispatch variants then agree even on garbage.
 namespace {
-int find_first_absmax(int m, const double* x, double best) {
+template <class T>
+int find_first_absmax(int m, const T* x, T best) {
   for (int i = 0; i < m; ++i)
     if (std::fabs(x[i]) == best) return i;
   return 0;
@@ -200,6 +222,114 @@ __attribute__((target("avx2"))) int iamax_avx2(int m, const double* x) {
   double tmp[4];
   _mm256_storeu_pd(tmp, vmax);
   double best = std::max(std::max(tmp[0], tmp[1]), std::max(tmp[2], tmp[3]));
+  for (; i < m; ++i) {
+    saw_nan = saw_nan || std::isnan(x[i]);
+    best = std::max(best, std::fabs(x[i]));
+  }
+  if (saw_nan) return iamax_c(m, x);
+  return find_first_absmax(m, x, best);
+}
+
+// ------------------------------------------- avx2 float panel kernels ---
+// Lane-doubled mirror of the double kernels: 16 rows per ymm block pair.
+
+template <int NC>
+__attribute__((target("avx2"))) void panel_cols_avx2f(int m, int kb,
+                                                      const float* l, int ldl,
+                                                      const float* u, int ldu,
+                                                      float* c, int ldc) {
+  int i = 0;
+  for (; i + 16 <= m; i += 16) {
+    __m256 acc[NC][2];
+    for (int q = 0; q < NC; ++q) {
+      float* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      acc[q][0] = _mm256_loadu_ps(cq);
+      acc[q][1] = _mm256_loadu_ps(cq + 8);
+    }
+    for (int p = 0; p < kb; ++p) {
+      const float* lp = l + static_cast<std::size_t>(p) * ldl + i;
+      const __m256 l0 = _mm256_loadu_ps(lp);
+      const __m256 l1 = _mm256_loadu_ps(lp + 8);
+      for (int q = 0; q < NC; ++q) {
+        const float us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0f) continue;  // the unblocked algorithm's skip
+        const __m256 b = _mm256_set1_ps(us);
+        acc[q][0] = _mm256_sub_ps(acc[q][0], _mm256_mul_ps(l0, b));
+        acc[q][1] = _mm256_sub_ps(acc[q][1], _mm256_mul_ps(l1, b));
+      }
+    }
+    for (int q = 0; q < NC; ++q) {
+      float* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      _mm256_storeu_ps(cq, acc[q][0]);
+      _mm256_storeu_ps(cq + 8, acc[q][1]);
+    }
+  }
+  for (; i < m; ++i)
+    for (int q = 0; q < NC; ++q) {
+      float v = c[i + static_cast<std::size_t>(q) * ldc];
+      for (int p = 0; p < kb; ++p) {
+        const float us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0f) continue;
+        v -= l[i + static_cast<std::size_t>(p) * ldl] * us;
+      }
+      c[i + static_cast<std::size_t>(q) * ldc] = v;
+    }
+}
+
+__attribute__((target("avx2"))) void panel_update_avx2(
+    int m, int n, int kb, const float* l, int ldl, const float* u, int ldu,
+    float* c, int ldc) {
+  int j = 0;
+  for (; j + 4 <= n; j += 4)
+    panel_cols_avx2f<4>(m, kb, l, ldl, u + static_cast<std::size_t>(j) * ldu,
+                        ldu, c + static_cast<std::size_t>(j) * ldc, ldc);
+  for (; j < n; ++j)
+    panel_cols_avx2f<1>(m, kb, l, ldl, u + static_cast<std::size_t>(j) * ldu,
+                        ldu, c + static_cast<std::size_t>(j) * ldc, ldc);
+}
+
+__attribute__((target("avx2"))) int rank1_iamax_avx2(int m, const float* l,
+                                                     float u, float* c) {
+  if (u == 0.0f) return iamax_avx2(m, c);
+  const __m256 b = _mm256_set1_ps(u);
+  __m256 vmax = _mm256_setzero_ps();
+  __m256 unord = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256 v = _mm256_sub_ps(_mm256_loadu_ps(c + i),
+                                   _mm256_mul_ps(_mm256_loadu_ps(l + i), b));
+    _mm256_storeu_ps(c + i, v);
+    unord = _mm256_or_ps(unord, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    vmax = _mm256_max_ps(vmax, abs256f(v));
+  }
+  bool saw_nan = _mm256_movemask_ps(unord) != 0;
+  float tmp[8];
+  _mm256_storeu_ps(tmp, vmax);
+  float best = tmp[0];
+  for (int q = 1; q < 8; ++q) best = std::max(best, tmp[q]);
+  for (; i < m; ++i) {
+    c[i] -= l[i] * u;
+    saw_nan = saw_nan || std::isnan(c[i]);
+    best = std::max(best, std::fabs(c[i]));
+  }
+  if (saw_nan) return iamax_c(m, c);
+  return find_first_absmax(m, c, best);
+}
+
+__attribute__((target("avx2"))) int iamax_avx2(int m, const float* x) {
+  __m256 vmax = _mm256_setzero_ps();
+  __m256 unord = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    unord = _mm256_or_ps(unord, _mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    vmax = _mm256_max_ps(vmax, abs256f(v));
+  }
+  bool saw_nan = _mm256_movemask_ps(unord) != 0;
+  float tmp[8];
+  _mm256_storeu_ps(tmp, vmax);
+  float best = tmp[0];
+  for (int q = 1; q < 8; ++q) best = std::max(best, tmp[q]);
   for (; i < m; ++i) {
     saw_nan = saw_nan || std::isnan(x[i]);
     best = std::max(best, std::fabs(x[i]));
@@ -326,6 +456,133 @@ __attribute__((target("avx512f"))) int iamax_avx512(int m, const double* x) {
   _mm512_storeu_pd(tmp, vmax);
   double best = tmp[0];
   for (int q = 1; q < 8; ++q) best = std::max(best, tmp[q]);
+  for (; i < m; ++i) {
+    saw_nan = saw_nan || std::isnan(x[i]);
+    best = std::max(best, std::fabs(x[i]));
+  }
+  if (saw_nan) return iamax_c(m, x);
+  return find_first_absmax(m, x, best);
+}
+
+// ---------------------------------------- avx512 float panel kernels ---
+// 32 rows per zmm block pair, masked 16-lane tail.
+
+template <int NC>
+__attribute__((target("avx512f"))) void panel_cols_avx512f(
+    int m, int kb, const float* l, int ldl, const float* u, int ldu, float* c,
+    int ldc) {
+  int i = 0;
+  for (; i + 32 <= m; i += 32) {
+    __m512 acc[NC][2];
+    for (int q = 0; q < NC; ++q) {
+      float* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      acc[q][0] = _mm512_loadu_ps(cq);
+      acc[q][1] = _mm512_loadu_ps(cq + 16);
+    }
+    for (int p = 0; p < kb; ++p) {
+      const float* lp = l + static_cast<std::size_t>(p) * ldl + i;
+      const __m512 l0 = _mm512_loadu_ps(lp);
+      const __m512 l1 = _mm512_loadu_ps(lp + 16);
+      for (int q = 0; q < NC; ++q) {
+        const float us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0f) continue;  // the unblocked algorithm's skip
+        const __m512 b = _mm512_set1_ps(us);
+        acc[q][0] = _mm512_sub_ps(acc[q][0], _mm512_mul_ps(l0, b));
+        acc[q][1] = _mm512_sub_ps(acc[q][1], _mm512_mul_ps(l1, b));
+      }
+    }
+    for (int q = 0; q < NC; ++q) {
+      float* cq = c + static_cast<std::size_t>(q) * ldc + i;
+      _mm512_storeu_ps(cq, acc[q][0]);
+      _mm512_storeu_ps(cq + 16, acc[q][1]);
+    }
+  }
+  // Masked row tail, 16 lanes at a time.
+  for (; i < m; i += 16) {
+    const int rem = m - i < 16 ? m - i : 16;
+    const __mmask16 k = static_cast<__mmask16>((1u << rem) - 1u);
+    const __m512 zero = _mm512_setzero_ps();
+    __m512 acc[NC];
+    for (int q = 0; q < NC; ++q)
+      acc[q] = _mm512_mask_loadu_ps(
+          zero, k, c + static_cast<std::size_t>(q) * ldc + i);
+    for (int p = 0; p < kb; ++p) {
+      const __m512 l0 = _mm512_mask_loadu_ps(
+          zero, k, l + static_cast<std::size_t>(p) * ldl + i);
+      for (int q = 0; q < NC; ++q) {
+        const float us = u[p + static_cast<std::size_t>(q) * ldu];
+        if (us == 0.0f) continue;
+        const __m512 b = _mm512_set1_ps(us);
+        acc[q] = _mm512_sub_ps(acc[q], _mm512_mul_ps(l0, b));
+      }
+    }
+    for (int q = 0; q < NC; ++q)
+      _mm512_mask_storeu_ps(c + static_cast<std::size_t>(q) * ldc + i, k,
+                            acc[q]);
+  }
+}
+
+__attribute__((target("avx512f"))) void panel_update_avx512(
+    int m, int n, int kb, const float* l, int ldl, const float* u, int ldu,
+    float* c, int ldc) {
+  int j = 0;
+  for (; j + 4 <= n; j += 4)
+    panel_cols_avx512f<4>(m, kb, l, ldl,
+                          u + static_cast<std::size_t>(j) * ldu, ldu,
+                          c + static_cast<std::size_t>(j) * ldc, ldc);
+  for (; j < n; ++j)
+    panel_cols_avx512f<1>(m, kb, l, ldl,
+                          u + static_cast<std::size_t>(j) * ldu, ldu,
+                          c + static_cast<std::size_t>(j) * ldc, ldc);
+}
+
+__attribute__((target("avx512f"))) int rank1_iamax_avx512(int m,
+                                                          const float* l,
+                                                          float u, float* c) {
+  if (u == 0.0f) return iamax_avx512(m, c);
+  const __m512 b = _mm512_set1_ps(u);
+  __m512 vmax = _mm512_setzero_ps();
+  __mmask16 unord = 0;
+  int i = 0;
+  for (; i + 16 <= m; i += 16) {
+    const __m512 v = _mm512_sub_ps(_mm512_loadu_ps(c + i),
+                                   _mm512_mul_ps(_mm512_loadu_ps(l + i), b));
+    _mm512_storeu_ps(c + i, v);
+    unord |= _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+    // masked form with explicit src: GCC-12's unmasked wrapper warns on
+    // its internal undefined passthru
+    vmax = _mm512_mask_max_ps(vmax, 0xFFFF, vmax, _mm512_abs_ps(v));
+  }
+  bool saw_nan = unord != 0;
+  float tmp[16];
+  _mm512_storeu_ps(tmp, vmax);
+  float best = tmp[0];
+  for (int q = 1; q < 16; ++q) best = std::max(best, tmp[q]);
+  for (; i < m; ++i) {
+    c[i] -= l[i] * u;
+    saw_nan = saw_nan || std::isnan(c[i]);
+    best = std::max(best, std::fabs(c[i]));
+  }
+  if (saw_nan) return iamax_c(m, c);
+  return find_first_absmax(m, c, best);
+}
+
+__attribute__((target("avx512f"))) int iamax_avx512(int m, const float* x) {
+  __m512 vmax = _mm512_setzero_ps();
+  __mmask16 unord = 0;
+  int i = 0;
+  for (; i + 16 <= m; i += 16) {
+    const __m512 v = _mm512_loadu_ps(x + i);
+    unord |= _mm512_cmp_ps_mask(v, v, _CMP_UNORD_Q);
+    // masked form with explicit src: GCC-12's unmasked wrapper warns on
+    // its internal undefined passthru
+    vmax = _mm512_mask_max_ps(vmax, 0xFFFF, vmax, _mm512_abs_ps(v));
+  }
+  bool saw_nan = unord != 0;
+  float tmp[16];
+  _mm512_storeu_ps(tmp, vmax);
+  float best = tmp[0];
+  for (int q = 1; q < 16; ++q) best = std::max(best, tmp[q]);
   for (; i < m; ++i) {
     saw_nan = saw_nan || std::isnan(x[i]);
     best = std::max(best, std::fabs(x[i]));

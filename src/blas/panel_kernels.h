@@ -1,6 +1,6 @@
 // panel_kernels.h — internal declarations of the panel-factorization
 // register kernels (panel_update / rank1_iamax / iamax per dispatch
-// variant), implemented in panel_kernels.cpp.
+// variant and precision), implemented in panel_kernels.cpp.
 //
 // These live in their own translation unit because their numerical
 // contract (microkernel.h: one multiply and one subtract per term, each
@@ -10,15 +10,32 @@
 // flag to this file keeps it away from the gemm kernels: the generic
 // gemm kernel's accumulation relies on compiler contraction on targets
 // whose baseline ISA has FMA (e.g. aarch64), and must not be taxed for
-// the panel's bit-identity guarantee.
+// the panel's bit-identity guarantee.  The float kernels are overloads
+// of the same names: both precisions carry the identical contract (in
+// their own rounding), so the float panel factorization is bit-identical
+// to float unblocked elimination across every dispatch variant.
 #pragma once
 
 namespace calu::blas::panelk {
 
-void panel_update_c(int m, int n, int kb, const double* l, int ldl,
-                    const double* u, int ldu, double* c, int ldc);
-int rank1_iamax_c(int m, const double* l, double u, double* c);
-int iamax_c(int m, const double* x);
+template <class T>
+void panel_update_c(int m, int n, int kb, const T* l, int ldl, const T* u,
+                    int ldu, T* c, int ldc);
+template <class T>
+int rank1_iamax_c(int m, const T* l, T u, T* c);
+template <class T>
+int iamax_c(int m, const T* x);
+
+extern template void panel_update_c<double>(int, int, int, const double*,
+                                            int, const double*, int, double*,
+                                            int);
+extern template int rank1_iamax_c<double>(int, const double*, double,
+                                          double*);
+extern template int iamax_c<double>(int, const double*);
+extern template void panel_update_c<float>(int, int, int, const float*, int,
+                                           const float*, int, float*, int);
+extern template int rank1_iamax_c<float>(int, const float*, float, float*);
+extern template int iamax_c<float>(int, const float*);
 
 #if defined(__x86_64__) || defined(__i386__)
 void panel_update_avx2(int m, int n, int kb, const double* l, int ldl,
@@ -30,6 +47,16 @@ void panel_update_avx512(int m, int n, int kb, const double* l, int ldl,
                          const double* u, int ldu, double* c, int ldc);
 int rank1_iamax_avx512(int m, const double* l, double u, double* c);
 int iamax_avx512(int m, const double* x);
+
+void panel_update_avx2(int m, int n, int kb, const float* l, int ldl,
+                       const float* u, int ldu, float* c, int ldc);
+int rank1_iamax_avx2(int m, const float* l, float u, float* c);
+int iamax_avx2(int m, const float* x);
+
+void panel_update_avx512(int m, int n, int kb, const float* l, int ldl,
+                         const float* u, int ldu, float* c, int ldc);
+int rank1_iamax_avx512(int m, const float* l, float u, float* c);
+int iamax_avx512(int m, const float* x);
 #endif
 
 }  // namespace calu::blas::panelk

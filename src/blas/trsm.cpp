@@ -26,6 +26,10 @@
 // plus the two transposed cases Cholesky leans on (Right/Lower and
 // Left/Lower); the Trans::Yes Upper cases stay unblocked (only used with
 // small triangles).
+//
+// Everything below is templated over the element type; double and float
+// share one code path and differ only in which dispatched kernel table
+// the leaf/coupling calls land on.
 #include "src/blas/blas.h"
 
 #include <algorithm>
@@ -48,8 +52,9 @@ constexpr int kInvMinRhs = 32;   // fewest RHS that pay for the gemm recast
 // accumulates directly into C with no packing.
 constexpr int kSmallK = 16;
 
-inline double diag_val(const double* t, int ldt, Diag diag, int i) {
-  return diag == Diag::Unit ? 1.0 : t[i + static_cast<std::size_t>(i) * ldt];
+template <class T>
+inline T diag_val(const T* t, int ldt, Diag diag, int i) {
+  return diag == Diag::Unit ? T(1) : t[i + static_cast<std::size_t>(i) * ldt];
 }
 
 // The unblocked solves sweep the diagonal block once per right-hand side;
@@ -66,13 +71,18 @@ inline double diag_val(const double* t, int ldt, Diag diag, int i) {
 // same tile.  A full-column memcpy here is a data race (caught by the
 // TSan lane); the unreferenced half of the scratch is simply left stale,
 // since every solve below indexes its own triangle only.
-thread_local util::AlignedBuffer tl_diag;
+template <class T>
+util::AlignedBufferT<T>& tl_diag() {
+  thread_local util::AlignedBufferT<T> buf;
+  return buf;
+}
 
-const double* pack_diag(const double* t, int ldt, int nb, UpLo uplo,
-                        Diag diag) {
-  tl_diag.reserve(static_cast<std::size_t>(kNB) * kNB);
-  double* buf = tl_diag.data();
-  // A Unit solve never reads the diagonal either (diag_val returns 1.0
+template <class T>
+const T* pack_diag(const T* t, int ldt, int nb, UpLo uplo, Diag diag) {
+  util::AlignedBufferT<T>& scratch = tl_diag<T>();
+  scratch.reserve(static_cast<std::size_t>(kNB) * kNB);
+  T* buf = scratch.data();
+  // A Unit solve never reads the diagonal either (diag_val returns 1
   // without touching memory) — and incpiv's TSTRF rewrites exactly that
   // diagonal concurrently with GESSM's unit-lower solve, so the copy
   // must skip it to stay race-free.
@@ -81,12 +91,12 @@ const double* pack_diag(const double* t, int ldt, int nb, UpLo uplo,
     for (int j = 0; j + d < nb; ++j)
       std::memcpy(buf + static_cast<std::size_t>(j) * nb + j + d,
                   t + static_cast<std::size_t>(j) * ldt + j + d,
-                  sizeof(double) * (nb - j - d));
+                  sizeof(T) * (nb - j - d));
   } else {
     for (int j = d; j < nb; ++j)
       std::memcpy(buf + static_cast<std::size_t>(j) * nb,
                   t + static_cast<std::size_t>(j) * ldt,
-                  sizeof(double) * (j + 1 - d));
+                  sizeof(T) * (j + 1 - d));
   }
   return buf;
 }
@@ -95,14 +105,15 @@ const double* pack_diag(const double* t, int ldt, int nb, UpLo uplo,
 
 // inv := T^{-1} for the nb x nb lower triangle T; columns solved by
 // forward substitution, upper part zero-filled.
-void invert_lower(const double* t, int ldt, int nb, Diag diag, double* inv) {
+template <class T>
+void invert_lower(const T* t, int ldt, int nb, Diag diag, T* inv) {
   for (int j = 0; j < nb; ++j) {
-    double* x = inv + static_cast<std::size_t>(j) * nb;
-    for (int i = 0; i < j; ++i) x[i] = 0.0;
-    x[j] = 1.0 / diag_val(t, ldt, diag, j);
+    T* x = inv + static_cast<std::size_t>(j) * nb;
+    for (int i = 0; i < j; ++i) x[i] = T(0);
+    x[j] = T(1) / diag_val(t, ldt, diag, j);
     for (int i = j + 1; i < nb; ++i) {
-      const double* ti = t + i;
-      double s = 0.0;
+      const T* ti = t + i;
+      T s = T(0);
       for (int p = j; p < i; ++p)
         s += ti[static_cast<std::size_t>(p) * ldt] * x[p];
       x[i] = -s / diag_val(t, ldt, diag, i);
@@ -111,14 +122,15 @@ void invert_lower(const double* t, int ldt, int nb, Diag diag, double* inv) {
 }
 
 // inv := T^{-1} for the nb x nb upper triangle T (backward substitution).
-void invert_upper(const double* t, int ldt, int nb, Diag diag, double* inv) {
+template <class T>
+void invert_upper(const T* t, int ldt, int nb, Diag diag, T* inv) {
   for (int j = 0; j < nb; ++j) {
-    double* x = inv + static_cast<std::size_t>(j) * nb;
-    for (int i = j + 1; i < nb; ++i) x[i] = 0.0;
-    x[j] = 1.0 / diag_val(t, ldt, diag, j);
+    T* x = inv + static_cast<std::size_t>(j) * nb;
+    for (int i = j + 1; i < nb; ++i) x[i] = T(0);
+    x[j] = T(1) / diag_val(t, ldt, diag, j);
     for (int i = j - 1; i >= 0; --i) {
-      const double* ti = t + i;
-      double s = 0.0;
+      const T* ti = t + i;
+      T s = T(0);
       for (int p = i + 1; p <= j; ++p)
         s += ti[static_cast<std::size_t>(p) * ldt] * x[p];
       x[i] = -s / diag_val(t, ldt, diag, i);
@@ -135,19 +147,20 @@ int split_point(int n) {
 
 // C(0:m, 0:n) -= L * U through the dispatched path that fits the inner
 // dimension: panel_update below kSmallK, gemm above it.
-void coupled_update(int m, int n, int k, const double* l, int ldl,
-                    const double* u, int ldu, double* c, int ldc) {
+template <class T>
+void coupled_update(int m, int n, int k, const T* l, int ldl, const T* u,
+                    int ldu, T* c, int ldc) {
   if (k <= kSmallK)
-    active_kernel().panel_update(m, n, k, l, ldl, u, ldu, c, ldc);
+    active_kernel_t<T>().panel_update(m, n, k, l, ldl, u, ldu, c, ldc);
   else
-    gemm(Trans::No, Trans::No, m, n, k, -1.0, l, ldl, u, ldu, 1.0, c, ldc);
+    gemm(Trans::No, Trans::No, m, n, k, T(-1), l, ldl, u, ldu, T(1), c, ldc);
 }
 
 // Copy-transpose the r x h block at `t` (leading dim ldt) into `buf`
 // (h x r, leading dim h) — the Trans::Yes couplings below take this path
 // only when rows * cols fits the kSmallK-square stack buffer.
-const double* transpose_small(const double* t, int ldt, int rows, int cols,
-                              double* buf) {
+template <class T>
+const T* transpose_small(const T* t, int ldt, int rows, int cols, T* buf) {
   for (int j = 0; j < cols; ++j)
     for (int i = 0; i < rows; ++i)
       buf[j + static_cast<std::size_t>(i) * cols] =
@@ -157,12 +170,13 @@ const double* transpose_small(const double* t, int ldt, int rows, int cols,
 
 // Recursive wide-B solver.  Only the six fast (side, uplo, trans)
 // combinations reach here; alpha is already applied.
+template <class T>
 void solve_rec(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
-               const double* t, int ldt, double* b, int ldb) {
+               const T* t, int ldt, T* b, int ldb) {
   const int tdim = side == Side::Left ? m : n;
   if (tdim <= kInvNB) {
-    const MicroKernel& mk = active_kernel();
-    double inv[kInvNB * kInvNB];
+    const MicroKernelT<T>& mk = active_kernel_t<T>();
+    T inv[kInvNB * kInvNB];
     if (uplo == UpLo::Lower)
       invert_lower(t, ldt, tdim, diag, inv);
     else
@@ -170,9 +184,9 @@ void solve_rec(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     if (trans == Trans::Yes) {
       // op(inv) = inv^T: transpose the tiny inverse once so the leaf
       // kernels only ever see the No-trans layout.
-      double tr[kInvNB * kInvNB];
+      T tr[kInvNB * kInvNB];
       transpose_small(inv, tdim, tdim, tdim, tr);
-      std::memcpy(inv, tr, sizeof(double) * tdim * tdim);
+      std::memcpy(inv, tr, sizeof(T) * tdim * tdim);
     }
     if (side == Side::Left)
       mk.trsm_leaf_left(tdim, n, inv, b, ldb);
@@ -182,10 +196,10 @@ void solve_rec(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
   }
   const int h = split_point(tdim);
   const int r = tdim - h;
-  const double* t22 = t + h + static_cast<std::size_t>(h) * ldt;
-  double tt[kSmallK * kSmallK];  // transpose scratch for small couplings
+  const T* t22 = t + h + static_cast<std::size_t>(h) * ldt;
+  T tt[kSmallK * kSmallK];  // transpose scratch for small couplings
   if (side == Side::Left) {
-    double* b2 = b + h;
+    T* b2 = b + h;
     if (uplo == UpLo::Lower && trans == Trans::No) {
       // X1 := inv(T11) B1 ; B2 -= T21 X1 ; X2 := inv(T22) B2.
       solve_rec(side, uplo, trans, diag, h, n, t, ldt, b, ldb);
@@ -204,12 +218,12 @@ void solve_rec(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
         coupled_update(h, n, r, transpose_small(t + h, ldt, r, h, tt), h, b2,
                        ldb, b, ldb);
       else
-        gemm(Trans::Yes, Trans::No, h, n, r, -1.0, t + h, ldt, b2, ldb, 1.0,
+        gemm(Trans::Yes, Trans::No, h, n, r, T(-1), t + h, ldt, b2, ldb, T(1),
              b, ldb);
       solve_rec(side, uplo, trans, diag, h, n, t, ldt, b, ldb);
     }
   } else {
-    double* b2 = b + static_cast<std::size_t>(h) * ldb;
+    T* b2 = b + static_cast<std::size_t>(h) * ldb;
     if (uplo == UpLo::Upper && trans == Trans::No) {
       // X1 := B1 inv(T11) ; B2 -= X1 T12 ; X2 := B2 inv(T22).
       solve_rec(side, uplo, trans, diag, m, h, t, ldt, b, ldb);
@@ -228,7 +242,7 @@ void solve_rec(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
         coupled_update(m, r, h, b, ldb, transpose_small(t + h, ldt, r, h, tt),
                        h, b2, ldb);
       else
-        gemm(Trans::No, Trans::Yes, m, r, h, -1.0, b, ldb, t + h, ldt, 1.0,
+        gemm(Trans::No, Trans::Yes, m, r, h, T(-1), b, ldb, t + h, ldt, T(1),
              b2, ldb);
       solve_rec(side, uplo, trans, diag, m, r, t22, ldt, b2, ldb);
     }
@@ -238,13 +252,14 @@ void solve_rec(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
 // ------------------------------------------------- substitution path ---
 
 // B := T^{-1} B, T lower triangular m x m (unblocked).
-void left_lower_unblocked(Diag diag, int m, int n, const double* t, int ldt,
-                          double* b, int ldb) {
+template <class T>
+void left_lower_unblocked(Diag diag, int m, int n, const T* t, int ldt, T* b,
+                          int ldb) {
   for (int j = 0; j < n; ++j) {
-    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* bj = b + static_cast<std::size_t>(j) * ldb;
     for (int i = 0; i < m; ++i) {
-      double s = bj[i];
-      const double* ti = t + i;  // row i of T, strided by ldt
+      T s = bj[i];
+      const T* ti = t + i;  // row i of T, strided by ldt
       for (int p = 0; p < i; ++p)
         s -= ti[static_cast<std::size_t>(p) * ldt] * bj[p];
       bj[i] = s / diag_val(t, ldt, diag, i);
@@ -253,13 +268,14 @@ void left_lower_unblocked(Diag diag, int m, int n, const double* t, int ldt,
 }
 
 // B := T^{-1} B, T upper triangular m x m (unblocked).
-void left_upper_unblocked(Diag diag, int m, int n, const double* t, int ldt,
-                          double* b, int ldb) {
+template <class T>
+void left_upper_unblocked(Diag diag, int m, int n, const T* t, int ldt, T* b,
+                          int ldb) {
   for (int j = 0; j < n; ++j) {
-    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* bj = b + static_cast<std::size_t>(j) * ldb;
     for (int i = m - 1; i >= 0; --i) {
-      double s = bj[i];
-      const double* ti = t + i;
+      T s = bj[i];
+      const T* ti = t + i;
       for (int p = i + 1; p < m; ++p)
         s -= ti[static_cast<std::size_t>(p) * ldt] * bj[p];
       bj[i] = s / diag_val(t, ldt, diag, i);
@@ -268,48 +284,49 @@ void left_upper_unblocked(Diag diag, int m, int n, const double* t, int ldt,
 }
 
 // B := B T^{-1}, T upper triangular n x n (unblocked).
-void right_upper_unblocked(Diag diag, int m, int n, const double* t, int ldt,
-                           double* b, int ldb) {
+template <class T>
+void right_upper_unblocked(Diag diag, int m, int n, const T* t, int ldt, T* b,
+                           int ldb) {
   for (int j = 0; j < n; ++j) {
-    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* bj = b + static_cast<std::size_t>(j) * ldb;
     for (int p = 0; p < j; ++p) {
-      const double tpj = t[p + static_cast<std::size_t>(j) * ldt];
-      if (tpj == 0.0) continue;
-      const double* bp = b + static_cast<std::size_t>(p) * ldb;
+      const T tpj = t[p + static_cast<std::size_t>(j) * ldt];
+      if (tpj == T(0)) continue;
+      const T* bp = b + static_cast<std::size_t>(p) * ldb;
       for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
     }
-    const double d = diag_val(t, ldt, diag, j);
-    if (d != 1.0)
+    const T d = diag_val(t, ldt, diag, j);
+    if (d != T(1))
       for (int i = 0; i < m; ++i) bj[i] /= d;
   }
 }
 
 // B := B T^{-1}, T lower triangular n x n (unblocked).
-void right_lower_unblocked(Diag diag, int m, int n, const double* t, int ldt,
-                           double* b, int ldb) {
+template <class T>
+void right_lower_unblocked(Diag diag, int m, int n, const T* t, int ldt, T* b,
+                           int ldb) {
   for (int j = n - 1; j >= 0; --j) {
-    double* bj = b + static_cast<std::size_t>(j) * ldb;
+    T* bj = b + static_cast<std::size_t>(j) * ldb;
     for (int p = j + 1; p < n; ++p) {
-      const double tpj = t[p + static_cast<std::size_t>(j) * ldt];
-      if (tpj == 0.0) continue;
-      const double* bp = b + static_cast<std::size_t>(p) * ldb;
+      const T tpj = t[p + static_cast<std::size_t>(j) * ldt];
+      if (tpj == T(0)) continue;
+      const T* bp = b + static_cast<std::size_t>(p) * ldb;
       for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
     }
-    const double d = diag_val(t, ldt, diag, j);
-    if (d != 1.0)
+    const T d = diag_val(t, ldt, diag, j);
+    if (d != T(1))
       for (int i = 0; i < m; ++i) bj[i] /= d;
   }
 }
 
-}  // namespace
-
-void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
-          double alpha, const double* t, int ldt, double* b, int ldb) {
+template <class T>
+void trsm_impl(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
+               T alpha, const T* t, int ldt, T* b, int ldb) {
   assert(m >= 0 && n >= 0);
   if (m == 0 || n == 0) return;
-  if (alpha != 1.0) {
+  if (alpha != T(1)) {
     for (int j = 0; j < n; ++j) {
-      double* bj = b + static_cast<std::size_t>(j) * ldb;
+      T* bj = b + static_cast<std::size_t>(j) * ldb;
       for (int i = 0; i < m; ++i) bj[i] *= alpha;
     }
   }
@@ -328,28 +345,26 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       const int jb = std::min(kNB, n - j);
       // Unblocked solve against the transposed diagonal block (packed
       // contiguous; it is swept once per RHS column).
-      const double* dk =
-          pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt, jb,
-                    UpLo::Lower, diag);
+      const T* dk = pack_diag(t + j + static_cast<std::size_t>(j) * ldt, ldt,
+                              jb, UpLo::Lower, diag);
       for (int jj = j; jj < j + jb; ++jj) {
-        double* bj = b + static_cast<std::size_t>(jj) * ldb;
+        T* bj = b + static_cast<std::size_t>(jj) * ldb;
         for (int p = j; p < jj; ++p) {
-          const double tpj =
-              dk[(jj - j) + static_cast<std::size_t>(p - j) * jb];
-          if (tpj == 0.0) continue;
-          const double* bp = b + static_cast<std::size_t>(p) * ldb;
+          const T tpj = dk[(jj - j) + static_cast<std::size_t>(p - j) * jb];
+          if (tpj == T(0)) continue;
+          const T* bp = b + static_cast<std::size_t>(p) * ldb;
           for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
         }
-        const double d = diag_val(dk, jb, diag, jj - j);
-        if (d != 1.0)
+        const T d = diag_val(dk, jb, diag, jj - j);
+        if (d != T(1))
           for (int i = 0; i < m; ++i) bj[i] /= d;
       }
       // Eliminate this block column from the columns to its right:
       // B(:, j+jb:) -= B(:, j:j+jb) * T(j+jb:, j:j+jb)^T.
       if (j + jb < n)
-        gemm(Trans::No, Trans::Yes, m, n - j - jb, jb, -1.0,
+        gemm(Trans::No, Trans::Yes, m, n - j - jb, jb, T(-1),
              b + static_cast<std::size_t>(j) * ldb, ldb,
-             t + (j + jb) + static_cast<std::size_t>(j) * ldt, ldt, 1.0,
+             t + (j + jb) + static_cast<std::size_t>(j) * ldt, ldt, T(1),
              b + static_cast<std::size_t>(j + jb) * ldb, ldb);
     }
     return;
@@ -359,13 +374,12 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     for (int i = m; i > 0; i -= kNB) {
       const int ib = std::min(kNB, i);
       const int i0 = i - ib;
-      const double* dk =
-          pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt, ib,
-                    UpLo::Lower, diag);
+      const T* dk = pack_diag(t + i0 + static_cast<std::size_t>(i0) * ldt, ldt,
+                              ib, UpLo::Lower, diag);
       for (int j = 0; j < n; ++j) {
-        double* bj = b + static_cast<std::size_t>(j) * ldb;
+        T* bj = b + static_cast<std::size_t>(j) * ldb;
         for (int r = i - 1; r >= i0; --r) {
-          double s = bj[r];
+          T s = bj[r];
           for (int p = r + 1; p < i; ++p)
             s -= dk[(p - i0) + static_cast<std::size_t>(r - i0) * ib] * bj[p];
           bj[r] = s / diag_val(dk, ib, diag, r - i0);
@@ -373,8 +387,8 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       }
       // B(0:i0, :) -= T(i0:i, 0:i0)^T * B(i0:i, :).
       if (i0 > 0)
-        gemm(Trans::Yes, Trans::No, i0, n, ib, -1.0, t + i0, ldt, b + i0,
-             ldb, 1.0, b, ldb);
+        gemm(Trans::Yes, Trans::No, i0, n, ib, T(-1), t + i0, ldt, b + i0,
+             ldb, T(1), b, ldb);
     }
     return;
   }
@@ -383,9 +397,9 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
       // Solve op(T) X = B column by column; only Upper arrives here
       // (T^T lower: forward substitution on transposed coefficients).
       for (int j = 0; j < n; ++j) {
-        double* bj = b + static_cast<std::size_t>(j) * ldb;
+        T* bj = b + static_cast<std::size_t>(j) * ldb;
         for (int i = 0; i < m; ++i) {
-          double s = bj[i];
+          T s = bj[i];
           for (int p = 0; p < i; ++p)
             s -= t[p + static_cast<std::size_t>(i) * ldt] * bj[p];
           bj[i] = s / diag_val(t, ldt, diag, i);
@@ -394,15 +408,15 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
     } else {
       // X op(T) = B with T upper => T^T lower => right-to-left.
       for (int jj = n - 1; jj >= 0; --jj) {
-        double* bj = b + static_cast<std::size_t>(jj) * ldb;
+        T* bj = b + static_cast<std::size_t>(jj) * ldb;
         for (int p = jj + 1; p < n; ++p) {
-          const double tpj = t[jj + static_cast<std::size_t>(p) * ldt];
-          if (tpj == 0.0) continue;
-          const double* bp = b + static_cast<std::size_t>(p) * ldb;
+          const T tpj = t[jj + static_cast<std::size_t>(p) * ldt];
+          if (tpj == T(0)) continue;
+          const T* bp = b + static_cast<std::size_t>(p) * ldb;
           for (int i = 0; i < m; ++i) bj[i] -= bp[i] * tpj;
         }
-        const double d = diag_val(t, ldt, diag, jj);
-        if (d != 1.0)
+        const T d = diag_val(t, ldt, diag, jj);
+        if (d != T(1))
           for (int i = 0; i < m; ++i) bj[i] /= d;
       }
     }
@@ -421,9 +435,9 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
           ib,
           b + i, ldb);
       if (i + ib < m)
-        gemm(Trans::No, Trans::No, m - i - ib, n, ib, -1.0,
+        gemm(Trans::No, Trans::No, m - i - ib, n, ib, T(-1),
              t + (i + ib) + static_cast<std::size_t>(i) * ldt, ldt, b + i, ldb,
-             1.0, b + i + ib, ldb);
+             T(1), b + i + ib, ldb);
     }
   } else if (side == Side::Left && uplo == UpLo::Upper) {
     for (int i = m; i > 0; i -= kNB) {
@@ -436,8 +450,8 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
           ib,
           b + i0, ldb);
       if (i0 > 0)
-        gemm(Trans::No, Trans::No, i0, n, ib, -1.0,
-             t + static_cast<std::size_t>(i0) * ldt, ldt, b + i0, ldb, 1.0, b,
+        gemm(Trans::No, Trans::No, i0, n, ib, T(-1),
+             t + static_cast<std::size_t>(i0) * ldt, ldt, b + i0, ldb, T(1), b,
              ldb);
     }
   } else if (side == Side::Right && uplo == UpLo::Upper) {
@@ -451,9 +465,9 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
           jb,
           b + static_cast<std::size_t>(j) * ldb, ldb);
       if (j + jb < n)
-        gemm(Trans::No, Trans::No, m, n - j - jb, jb, -1.0,
+        gemm(Trans::No, Trans::No, m, n - j - jb, jb, T(-1),
              b + static_cast<std::size_t>(j) * ldb, ldb,
-             t + j + static_cast<std::size_t>(j + jb) * ldt, ldt, 1.0,
+             t + j + static_cast<std::size_t>(j + jb) * ldt, ldt, T(1),
              b + static_cast<std::size_t>(j + jb) * ldb, ldb);
     }
   } else {  // Side::Right, UpLo::Lower
@@ -467,11 +481,23 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
           jb,
           b + static_cast<std::size_t>(j0) * ldb, ldb);
       if (j0 > 0)
-        gemm(Trans::No, Trans::No, m, j0, jb, -1.0,
+        gemm(Trans::No, Trans::No, m, j0, jb, T(-1),
              b + static_cast<std::size_t>(j0) * ldb, ldb,
-             t + j0, ldt, 1.0, b, ldb);
+             t + j0, ldt, T(1), b, ldb);
     }
   }
+}
+
+}  // namespace
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
+          double alpha, const double* t, int ldt, double* b, int ldb) {
+  trsm_impl(side, uplo, trans, diag, m, n, alpha, t, ldt, b, ldb);
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, int m, int n,
+          float alpha, const float* t, int ldt, float* b, int ldb) {
+  trsm_impl(side, uplo, trans, diag, m, n, alpha, t, ldt, b, ldb);
 }
 
 }  // namespace calu::blas

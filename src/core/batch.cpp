@@ -40,11 +40,18 @@ BatchRunResult run_sequential(std::vector<BatchJob>& jobs,
     assert(job.a != nullptr);
     BatchJobResult& out = res.jobs[i];
     if (job.rhs != nullptr) {
-      SolveResult sr = gesv(*job.a, *job.rhs, job.options, session);
+      // Float32 solve jobs get the full mixed-precision treatment
+      // (refinement to double accuracy + fallback), exactly as if the
+      // caller had invoked gesv_mixed directly.
+      SolveResult sr =
+          job.options.precision == Precision::Float32
+              ? gesv_mixed(*job.a, *job.rhs, job.options, session)
+              : gesv(*job.a, *job.rhs, job.options, session);
       out.factorization = std::move(sr.factorization);
       out.x = std::move(sr.x);
       out.refine_steps = sr.refine_steps;
       out.residual = sr.residual;
+      out.used_fallback = sr.used_fallback;
     } else {
       out.factorization = getrf(*job.a, job.options, session);
     }
@@ -137,11 +144,22 @@ BatchRunResult run_fused(std::vector<BatchJob>& jobs,
     if (job.rhs != nullptr) {
       packed[i].unpack(lu[i]);
       SolveResult sr;
-      solve_factored(*job.a, *job.rhs, lu[i], out.factorization.ipiv,
-                     job.options.max_refine, sr);
+      sr.factorization = std::move(out.factorization);
+      if (job.options.precision == Precision::Float32) {
+        // Mixed epilogue shared with gesv_mixed.  On fallback the whole
+        // result — fused attribution included — is replaced by the
+        // double re-solve's stats: the factors the caller gets really
+        // did come from that run, not the fused one.
+        refine_mixed(*job.a, *job.rhs, lu[i], job.options, session, sr);
+      } else {
+        solve_factored(*job.a, *job.rhs, lu[i], sr.factorization.ipiv,
+                       job.options.max_refine, sr);
+      }
+      out.factorization = std::move(sr.factorization);
       out.x = std::move(sr.x);
       out.refine_steps = sr.refine_steps;
       out.residual = sr.residual;
+      out.used_fallback = sr.used_fallback;
     } else {
       packed[i].unpack(*job.a);
     }
@@ -210,6 +228,7 @@ BatchSolveResult batched_gesv(util::Span<const layout::Matrix> as,
     res.jobs[i].x = std::move(run.jobs[i].x);
     res.jobs[i].refine_steps = run.jobs[i].refine_steps;
     res.jobs[i].residual = run.jobs[i].residual;
+    res.jobs[i].used_fallback = run.jobs[i].used_fallback;
     res.jobs[i].factorization = std::move(run.jobs[i].factorization);
   }
   return res;

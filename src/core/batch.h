@@ -42,7 +42,10 @@ namespace calu::core {
 ///    options.max_refine.
 ///
 /// Options are per job (tile size, grid, layout, pack_panels, dratio,
-/// max_refine ... may all differ), with one constraint in fused mode:
+/// max_refine, precision ... may all differ — a fused run can interleave
+/// float32 and double factorizations; Float32 rhs jobs additionally get
+/// the full gesv_mixed refine-and-fallback epilogue), with one
+/// constraint in fused mode:
 /// every job must resolve to the same engine, because a single engine
 /// executes the fused graph (batched_run throws std::invalid_argument
 /// otherwise).
@@ -92,6 +95,9 @@ struct BatchJobResult {
   layout::Matrix x;           ///< solution, for jobs submitted with an rhs
   int refine_steps = 0;       ///< refinement steps taken (rhs jobs)
   double residual = 0.0;      ///< final normalized residual (rhs jobs)
+  /// Float32 rhs jobs only: the float factorization was rejected and the
+  /// result comes from the gesv_mixed full-double fallback.
+  bool used_fallback = false;
   /// Seconds from batch start to this job's completion (open-loop
   /// latency: DAG retirement in fused mode, job return in sequential).
   double completed_at = 0.0;

@@ -1,5 +1,11 @@
 // calu.cpp — execution of the CALU plan: task bodies, the schedule
 // dispatch, and the user-facing getrf drivers.
+//
+// The task bodies (Runtime) are templated over the element type: a
+// Float32 job runs the identical plan on a converted float copy of the
+// packed matrix.  The engines never see the difference — they only move
+// task ids — which keeps every scheduler precision-agnostic by
+// construction.
 #include "src/core/calu.h"
 
 #include <algorithm>
@@ -11,6 +17,7 @@
 #include <mutex>
 
 #include "src/blas/blas.h"
+#include "src/blas/microkernel.h"
 #include "src/core/calu_dag.h"
 #include "src/core/tslu.h"
 #include "src/model/lu_cost.h"
@@ -20,20 +27,29 @@
 namespace calu::core {
 namespace {
 
-using layout::BlockRef;
-
 inline std::size_t pad8(std::size_t v) { return (v + 7) / 8 * 8; }
 
-// Per-thread pack scratch for the pack-per-task (pack_panels off) S path.
-thread_local util::AlignedBuffer tl_s_abuf;
-thread_local util::AlignedBuffer tl_s_bbuf;
+// Per-thread pack scratch for the pack-per-task (pack_panels off) S path,
+// one pair per precision.
+template <class T>
+util::AlignedBufferT<T>& tl_s_abuf() {
+  thread_local util::AlignedBufferT<T> buf;
+  return buf;
+}
+
+template <class T>
+util::AlignedBufferT<T>& tl_s_bbuf() {
+  thread_local util::AlignedBufferT<T> buf;
+  return buf;
+}
 
 /// Mutable per-run state: tournament candidates, per-panel swap lists.
 /// Distinct tasks touch distinct slots, so no locking is needed beyond the
 /// engine's dependency ordering.
+template <class T>
 class Runtime {
  public:
-  Runtime(layout::PackedMatrix& a, const CaluPlan& plan)
+  Runtime(layout::PackedMatrixT<T>& a, const CaluPlan& plan)
       : a_(a), plan_(plan) {
     cand_.resize(plan.npanels);
     for (int k = 0; k < plan.npanels; ++k)
@@ -77,10 +93,10 @@ class Runtime {
   /// task, so live scratch stays proportional to the scheduler's actual
   /// look-ahead depth, not to the matrix.
   struct StepArena {
-    util::AlignedBuffer buf;
+    util::AlignedBufferT<T> buf;
     std::once_flag once;
-    double* lslots = nullptr;
-    double* uslots = nullptr;
+    T* lslots = nullptr;
+    T* uslots = nullptr;
     std::size_t l_stride = 0, u_stride = 0;
     std::atomic<int> s_remaining{0};
   };
@@ -94,16 +110,17 @@ class Runtime {
   void exec_pack_l(const sched::Task& t);
   void exec_pack_u(const sched::Task& t);
 
-  layout::PackedMatrix& a_;
+  layout::PackedMatrixT<T>& a_;
   const CaluPlan& plan_;
-  std::vector<std::vector<Candidates>> cand_;
+  std::vector<std::vector<CandidatesT<T>>> cand_;
   std::vector<std::vector<int>> swaps_;
   std::vector<std::unique_ptr<StepArena>> arenas_;
   std::atomic<std::uint64_t> pack_tasks_{0};
   std::atomic<std::uint64_t> s_packs_{0};
 };
 
-void Runtime::exec(int id, int tid) {
+template <class T>
+void Runtime<T>::exec(int id, int tid) {
   (void)tid;
   const sched::Task& t = plan_.graph.task(id);
   switch (t.kind) {
@@ -117,7 +134,8 @@ void Runtime::exec(int id, int tid) {
   }
 }
 
-void Runtime::exec_p(const sched::Task& t) {
+template <class T>
+void Runtime<T>::exec_p(const sched::Task& t) {
   const int k = t.step;
   const layout::Tiling& tl = plan_.tiling;
   if (t.aux >= 0) {
@@ -134,14 +152,14 @@ void Runtime::exec_p(const sched::Task& t) {
       cand_[k][t.aux] =
           tslu_merge(cand_[k][node.child_a], cand_[k][node.child_b]);
       // The children are dead now; release their buffers.
-      cand_[k][node.child_a] = Candidates{};
-      cand_[k][node.child_b] = Candidates{};
+      cand_[k][node.child_a] = CandidatesT<T>{};
+      cand_[k][node.child_b] = CandidatesT<T>{};
     }
     return;
   }
   // Finalize: swap the winners into place within the panel column and
   // factor the top tile without pivoting (TSLU second step).
-  const Candidates& root = cand_[k][plan_.root_node[k]];
+  const CandidatesT<T>& root = cand_[k][plan_.root_node[k]];
   const int row0 = tl.row0(k);
   swaps_[k] = build_swap_list(root.src, row0, root.count);
   const int c0 = tl.col0(k);
@@ -149,22 +167,24 @@ void Runtime::exec_p(const sched::Task& t) {
   for (std::size_t i = 0; i < swaps_[k].size(); ++i)
     if (swaps_[k][i] != row0 + static_cast<int>(i))
       a_.swap_rows_global(c0, c1, row0 + static_cast<int>(i), swaps_[k][i]);
-  BlockRef top = a_.block(k, k);
+  layout::BlockRefT<T> top = a_.block(k, k);
   blas::getrf_nopiv(top.rows, top.cols, top.ptr, top.ld);
-  cand_[k][plan_.root_node[k]] = Candidates{};
+  cand_[k][plan_.root_node[k]] = CandidatesT<T>{};
 }
 
-void Runtime::exec_l(const sched::Task& t) {
+template <class T>
+void Runtime<T>::exec_l(const sched::Task& t) {
   // L(I,k) := A(I,k) * Ukk^{-1}.
-  BlockRef top = a_.block(t.step, t.step);
-  BlockRef d = a_.block(t.i, t.step);
+  layout::BlockRefT<T> top = a_.block(t.step, t.step);
+  layout::BlockRefT<T> d = a_.block(t.i, t.step);
   const int kk = std::min(top.rows, top.cols);
   blas::trsm(blas::Side::Right, blas::UpLo::Upper, blas::Trans::No,
-             blas::Diag::NonUnit, d.rows, kk, 1.0, top.ptr, top.ld, d.ptr,
+             blas::Diag::NonUnit, d.rows, kk, T(1), top.ptr, top.ld, d.ptr,
              d.ld);
 }
 
-void Runtime::exec_u(const sched::Task& t) {
+template <class T>
+void Runtime<T>::exec_u(const sched::Task& t) {
   // Right swap of column J by panel k's pivots, then U(k,J) := Lkk^{-1}
   // A(k,J).
   const int k = t.step, J = t.j;
@@ -176,22 +196,25 @@ void Runtime::exec_u(const sched::Task& t) {
   for (std::size_t i = 0; i < sw.size(); ++i)
     if (sw[i] != row0 + static_cast<int>(i))
       a_.swap_rows_global(c0, c1, row0 + static_cast<int>(i), sw[i]);
-  BlockRef top = a_.block(k, k);
-  BlockRef d = a_.block(k, J);
+  layout::BlockRefT<T> top = a_.block(k, k);
+  layout::BlockRefT<T> d = a_.block(k, J);
   const int kk = std::min(top.rows, top.cols);
   blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
-             blas::Diag::Unit, kk, d.cols, 1.0, top.ptr, top.ld, d.ptr, d.ld);
+             blas::Diag::Unit, kk, d.cols, T(1), top.ptr, top.ld, d.ptr,
+             d.ld);
 }
 
-Runtime::StepArena& Runtime::ensure_arena(int k) {
+template <class T>
+typename Runtime<T>::StepArena& Runtime<T>::ensure_arena(int k) {
   StepArena& ar = *arenas_[k];
   std::call_once(ar.once, [&] {
     const layout::Tiling& tl = plan_.tiling;
     const int kk = std::min(tl.tile_rows(k), tl.tile_cols(k));
     // Uniform slots sized for a full b x kk tile (edge tiles just leave
-    // slack); padded to 8 doubles so every slot stays 64-byte aligned.
-    ar.l_stride = pad8(blas::packed_a_size(tl.b, kk));
-    ar.u_stride = pad8(blas::packed_b_size(kk, tl.b));
+    // slack); padded to 8 elements so every slot stays 64-byte aligned
+    // for doubles and 32-byte for floats (both enough for the kernels).
+    ar.l_stride = pad8(blas::packed_a_size<T>(tl.b, kk));
+    ar.u_stride = pad8(blas::packed_b_size<T>(kk, tl.b));
     const std::size_t ltiles = tl.mb() - k - 1;
     const std::size_t utiles = tl.nb() - k - 1;
     ar.buf.reserve(ltiles * ar.l_stride + utiles * ar.u_stride);
@@ -201,48 +224,51 @@ Runtime::StepArena& Runtime::ensure_arena(int k) {
   return ar;
 }
 
-void Runtime::exec_pack_l(const sched::Task& t) {
+template <class T>
+void Runtime<T>::exec_pack_l(const sched::Task& t) {
   // Pack finished L tile (I, k) into its arena slot, once per step.
   const int k = t.step, I = t.i;
   StepArena& ar = ensure_arena(k);
-  BlockRef top = a_.block(k, k);
+  layout::BlockRefT<T> top = a_.block(k, k);
   const int kk = std::min(top.rows, top.cols);
-  BlockRef l = a_.block(I, k);
+  layout::BlockRefT<T> l = a_.block(I, k);
   blas::gemm_pack_a(blas::Trans::No, l.rows, kk, l.ptr, l.ld,
                     ar.lslots + (I - k - 1) * ar.l_stride);
   pack_tasks_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Runtime::exec_pack_u(const sched::Task& t) {
+template <class T>
+void Runtime<T>::exec_pack_u(const sched::Task& t) {
   // Pack finished U tile (k, J) into its arena slot, once per step.
   const int k = t.step, J = t.j;
   StepArena& ar = ensure_arena(k);
-  BlockRef top = a_.block(k, k);
+  layout::BlockRefT<T> top = a_.block(k, k);
   const int kk = std::min(top.rows, top.cols);
-  BlockRef u = a_.block(k, J);
+  layout::BlockRefT<T> u = a_.block(k, J);
   blas::gemm_pack_b(blas::Trans::No, kk, u.cols, u.ptr, u.ld,
                     ar.uslots + (J - k - 1) * ar.u_stride);
   pack_tasks_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void Runtime::exec_s(const sched::Task& t) {
+template <class T>
+void Runtime<T>::exec_s(const sched::Task& t) {
   // A(I..,J) -= L(I..,k) * U(k,J), over a group of t.aux owned tiles
   // (one tile unless the static BCL grouping is active).  With
   // pack_panels the operands come pre-packed from the step arena; the
   // fallback packs them per task.  Both run the same register kernels on
   // identically packed data, so the results are bit-identical.
   const int k = t.step, I = t.i, J = t.j, cnt = t.aux;
-  BlockRef top = a_.block(k, k);
+  layout::BlockRefT<T> top = a_.block(k, k);
   const int kk = std::min(top.rows, top.cols);
-  BlockRef c = a_.column_segment(I, J, cnt);
+  layout::BlockRefT<T> c = a_.column_segment(I, J, cnt);
   if (plan_.pack_panels) {
     StepArena& ar = *arenas_[k];
-    const double* upack = ar.uslots + (J - k - 1) * ar.u_stride;
+    const T* upack = ar.uslots + (J - k - 1) * ar.u_stride;
     int rowoff = 0;
     for (int g = 0; g < cnt; ++g) {
       const int Ig = I + g * plan_.grid.pr;
       const int rows = plan_.tiling.tile_rows(Ig);
-      blas::gemm_packed(rows, c.cols, kk, -1.0,
+      blas::gemm_packed(rows, c.cols, kk, T(-1),
                         ar.lslots + (Ig - k - 1) * ar.l_stride, upack,
                         c.ptr + rowoff, c.ld);
       rowoff += rows;
@@ -251,21 +277,22 @@ void Runtime::exec_s(const sched::Task& t) {
     if (ar.s_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
       ar.buf.release();
   } else {
-    BlockRef u = a_.block(k, J);
-    BlockRef l = a_.column_segment(I, k, cnt);
-    tl_s_abuf.reserve(blas::packed_a_size(l.rows, kk));
-    tl_s_bbuf.reserve(blas::packed_b_size(kk, u.cols));
-    blas::gemm_pack_a(blas::Trans::No, l.rows, kk, l.ptr, l.ld,
-                      tl_s_abuf.data());
-    blas::gemm_pack_b(blas::Trans::No, kk, u.cols, u.ptr, u.ld,
-                      tl_s_bbuf.data());
+    layout::BlockRefT<T> u = a_.block(k, J);
+    layout::BlockRefT<T> l = a_.column_segment(I, k, cnt);
+    util::AlignedBufferT<T>& abuf = tl_s_abuf<T>();
+    util::AlignedBufferT<T>& bbuf = tl_s_bbuf<T>();
+    abuf.reserve(blas::packed_a_size<T>(l.rows, kk));
+    bbuf.reserve(blas::packed_b_size<T>(kk, u.cols));
+    blas::gemm_pack_a(blas::Trans::No, l.rows, kk, l.ptr, l.ld, abuf.data());
+    blas::gemm_pack_b(blas::Trans::No, kk, u.cols, u.ptr, u.ld, bbuf.data());
     s_packs_.fetch_add(2, std::memory_order_relaxed);
-    blas::gemm_packed(c.rows, c.cols, kk, -1.0, tl_s_abuf.data(),
-                      tl_s_bbuf.data(), c.ptr, c.ld);
+    blas::gemm_packed(c.rows, c.cols, kk, T(-1), abuf.data(), bbuf.data(),
+                      c.ptr, c.ld);
   }
 }
 
-void Runtime::apply_left_swaps(sched::ThreadTeam& team) {
+template <class T>
+void Runtime<T>::apply_left_swaps(sched::ThreadTeam& team) {
   const layout::Tiling& tl = plan_.tiling;
   const int npanels = plan_.npanels;
   team.parallel_for(npanels, [&](int J) {
@@ -281,7 +308,8 @@ void Runtime::apply_left_swaps(sched::ThreadTeam& team) {
   });
 }
 
-std::vector<int> Runtime::take_ipiv() {
+template <class T>
+std::vector<int> Runtime<T>::take_ipiv() {
   std::vector<int> ipiv;
   for (auto& sw : swaps_) ipiv.insert(ipiv.end(), sw.begin(), sw.end());
   return ipiv;
@@ -300,6 +328,14 @@ const char* schedule_name(Schedule s) {
     case Schedule::Dynamic: return "dynamic";
     case Schedule::Hybrid: return "hybrid";
     case Schedule::WorkStealing: return "work-stealing";
+  }
+  return "?";
+}
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::Double: return "fp64";
+    case Precision::Float32: return "fp32";
   }
   return "?";
 }
@@ -348,7 +384,14 @@ sched::RunHooks run_hooks_from(const Options& opt, int team_size,
 
 struct GetrfJob::Impl {
   CaluPlan plan;
-  Runtime rt;  // holds a reference to `plan`; member order matters
+  Precision precision;
+  // Double jobs run directly on the caller's matrix.  Float32 jobs run on
+  // a same-geometry converted copy and write back in finish(); only one
+  // of the two runtimes exists.
+  layout::PackedMatrix* caller = nullptr;
+  layout::PackedMatrixT<float> a32;
+  std::unique_ptr<Runtime<double>> rt64;
+  std::unique_ptr<Runtime<float>> rt32;
   double plan_seconds = 0.0;
   double flops = 0.0;
 
@@ -356,7 +399,15 @@ struct GetrfJob::Impl {
       : plan(build_plan(a.tiling(), a.grid(), a.layout(),
                         opt.resolved_dratio(), opt.group_factor,
                         opt.pack_panels)),
-        rt(a, plan) {}
+        precision(opt.precision) {
+    if (precision == Precision::Float32) {
+      caller = &a;
+      a32 = layout::PackedMatrixT<float>::convert_from(a);
+      rt32 = std::make_unique<Runtime<float>>(a32, plan);
+    } else {
+      rt64 = std::make_unique<Runtime<double>>(a, plan);
+    }
+  }
 };
 
 GetrfJob::GetrfJob(layout::PackedMatrix& a, const Options& opt) {
@@ -373,7 +424,12 @@ GetrfJob& GetrfJob::operator=(GetrfJob&&) noexcept = default;
 
 const sched::TaskGraph& GetrfJob::graph() const { return impl_->plan.graph; }
 
-void GetrfJob::exec(int id, int tid) { impl_->rt.exec(id, tid); }
+void GetrfJob::exec(int id, int tid) {
+  if (impl_->rt32)
+    impl_->rt32->exec(id, tid);
+  else
+    impl_->rt64->exec(id, tid);
+}
 
 double GetrfJob::plan_seconds() const { return impl_->plan_seconds; }
 
@@ -381,14 +437,27 @@ double GetrfJob::flops() const { return impl_->flops; }
 
 Factorization GetrfJob::finish(sched::ThreadTeam& team) {
   Factorization f;
-  impl_->rt.apply_left_swaps(team);
-  f.ipiv = impl_->rt.take_ipiv();
+  auto fin = [&](auto& rt) {
+    rt.apply_left_swaps(team);
+    f.ipiv = rt.take_ipiv();
+    f.stats.pack_tasks = rt.pack_tasks();
+    f.stats.s_operand_packs = rt.s_operand_packs();
+  };
+  if (impl_->rt32) {
+    fin(*impl_->rt32);
+    // Left swaps must land while the factors are still float: swaps
+    // commute with the (exact) float -> double conversion, but doing
+    // them here keeps one code path and one write-back.
+    impl_->a32.convert_into(*impl_->caller);
+  } else {
+    fin(*impl_->rt64);
+  }
   f.stats.plan_seconds = impl_->plan_seconds;
   f.stats.tasks = impl_->plan.graph.num_tasks();
   f.stats.npanels = impl_->plan.npanels;
   f.stats.nstatic_panels = impl_->plan.nstatic;
-  f.stats.pack_tasks = impl_->rt.pack_tasks();
-  f.stats.s_operand_packs = impl_->rt.s_operand_packs();
+  f.stats.precision = impl_->precision;
+  f.stats.kernel = blas::active_kernel().name;
   return f;
 }
 

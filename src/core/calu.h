@@ -38,6 +38,15 @@ enum class Schedule {
 
 const char* schedule_name(Schedule s);
 
+/// Element precision a factorization runs at.  Float32 runs the SAME task
+/// graph and engine on a float copy of the packed matrix (the engines are
+/// precision-agnostic — they only move task ids); it exists for the
+/// mixed-precision solver gesv_mixed, which refines the float factors back
+/// to double accuracy.
+enum class Precision : std::uint8_t { Double, Float32 };
+
+const char* precision_name(Precision p);
+
 struct Options {
   int b = 100;                // tile size (the paper uses b = 100)
   double dratio = 0.10;       // fraction of panels scheduled dynamically
@@ -72,6 +81,9 @@ struct Options {
   /// overload; folding it here lets per-job Options carry it through the
   /// batch layer.  0 disables refinement.
   int max_refine = 2;
+  /// Factorization element type.  Per-job Options carry it through the
+  /// batch layer, so a fused engine run can mix double and float32 jobs.
+  Precision precision = Precision::Double;
 
   int resolved_threads() const;
   layout::Grid resolved_grid() const;
@@ -96,6 +108,11 @@ struct Stats {
   std::uint64_t pack_tasks = 0;  // pL/pU tasks executed
   double noise_delta_max = 0.0;  // measured δmax/δavg when noise is on
   double noise_delta_avg = 0.0;
+  /// Precision the numerics actually ran at and the SIMD kernel variant
+  /// they dispatched to — mirrors the "dispatched" stamp the benches put
+  /// in BENCH_kernels.json, so traces/results are self-describing.
+  Precision precision = Precision::Double;
+  std::string kernel;
 };
 
 struct Factorization {
@@ -115,7 +132,11 @@ struct Factorization {
 class GetrfJob {
  public:
   /// Builds the plan and runtime for `a`, which must have been packed
-  /// with opt.b and opt.resolved_grid() and must outlive the job.
+  /// with opt.b and opt.resolved_grid() and must outlive the job.  With
+  /// opt.precision == Float32 the tasks run on an internally converted
+  /// same-geometry float copy, and finish() writes the factors back into
+  /// `a` (float -> double conversion is exact, so `a` then holds the
+  /// float-accuracy factors bit-for-bit).
   GetrfJob(layout::PackedMatrix& a, const Options& opt);
   ~GetrfJob();
   GetrfJob(GetrfJob&&) noexcept;

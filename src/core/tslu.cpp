@@ -7,11 +7,19 @@
 #include "src/blas/blas.h"
 
 namespace calu::core {
+namespace {
 
-void tournament_select(int rows, int width, double* w, int ldw, int* src) {
+template <class T>
+std::vector<T>& tl_select_scratch() {
+  thread_local std::vector<T> scratch;
+  return scratch;
+}
+
+template <class T>
+void tournament_select_impl(int rows, int width, T* w, int ldw, int* src) {
   assert(rows >= 0 && width >= 1);
   if (rows <= 1) return;
-  thread_local std::vector<double> scratch;
+  std::vector<T>& scratch = tl_select_scratch<T>();
   thread_local std::vector<int> ipiv;
   scratch.resize(static_cast<std::size_t>(rows) * width);
   ipiv.resize(std::min(rows, width));
@@ -34,20 +42,37 @@ void tournament_select(int rows, int width, double* w, int ldw, int* src) {
   }
 }
 
-Candidates tslu_leaf(const layout::PackedMatrix& a, int kcol,
-                     const std::vector<int>& tile_rows) {
+template <class T>
+std::vector<T>& tl_gather_vals() {
+  thread_local std::vector<T> w;
+  return w;
+}
+
+}  // namespace
+
+void tournament_select(int rows, int width, double* w, int ldw, int* src) {
+  tournament_select_impl(rows, width, w, ldw, src);
+}
+
+void tournament_select(int rows, int width, float* w, int ldw, int* src) {
+  tournament_select_impl(rows, width, w, ldw, src);
+}
+
+template <class T>
+CandidatesT<T> tslu_leaf(const layout::PackedMatrixT<T>& a, int kcol,
+                         const std::vector<int>& tile_rows) {
   const layout::Tiling& t = a.tiling();
   const int width = t.tile_cols(kcol);
   int rows = 0;
   for (int I : tile_rows) rows += t.tile_rows(I);
 
-  thread_local std::vector<double> w;
+  std::vector<T>& w = tl_gather_vals<T>();
   thread_local std::vector<int> src;
   w.resize(static_cast<std::size_t>(rows) * width);
   src.resize(rows);
   int r = 0;
   for (int I : tile_rows) {
-    const layout::BlockRef blk = a.block(I, kcol);
+    const layout::BlockRefT<T> blk = a.block(I, kcol);
     for (int j = 0; j < width; ++j)
       std::copy_n(blk.ptr + static_cast<std::size_t>(j) * blk.ld, blk.rows,
                   w.data() + r + static_cast<std::size_t>(j) * rows);
@@ -57,7 +82,7 @@ Candidates tslu_leaf(const layout::PackedMatrix& a, int kcol,
   tournament_select(rows, width, w.data(), rows, src.data());
 
   const int keep = std::min(rows, width);
-  Candidates c;
+  CandidatesT<T> c;
   c.count = keep;
   c.width = width;
   c.vals.resize(static_cast<std::size_t>(keep) * width);
@@ -68,12 +93,13 @@ Candidates tslu_leaf(const layout::PackedMatrix& a, int kcol,
   return c;
 }
 
-Candidates tslu_merge(const Candidates& x, const Candidates& y) {
+template <class T>
+CandidatesT<T> tslu_merge(const CandidatesT<T>& x, const CandidatesT<T>& y) {
   assert(x.width == y.width);
   const int width = x.width;
   const int rows = x.count + y.count;
 
-  thread_local std::vector<double> w;
+  std::vector<T>& w = tl_gather_vals<T>();
   thread_local std::vector<int> src;
   w.resize(static_cast<std::size_t>(rows) * width);
   src.resize(rows);
@@ -88,7 +114,7 @@ Candidates tslu_merge(const Candidates& x, const Candidates& y) {
   tournament_select(rows, width, w.data(), rows, src.data());
 
   const int keep = std::min(rows, width);
-  Candidates c;
+  CandidatesT<T> c;
   c.count = keep;
   c.width = width;
   c.vals.resize(static_cast<std::size_t>(keep) * width);
@@ -98,6 +124,15 @@ Candidates tslu_merge(const Candidates& x, const Candidates& y) {
                 c.vals.data() + static_cast<std::size_t>(j) * keep);
   return c;
 }
+
+template CandidatesT<double> tslu_leaf<double>(
+    const layout::PackedMatrixT<double>&, int, const std::vector<int>&);
+template CandidatesT<float> tslu_leaf<float>(const layout::PackedMatrixT<float>&,
+                                             int, const std::vector<int>&);
+template CandidatesT<double> tslu_merge<double>(const CandidatesT<double>&,
+                                                const CandidatesT<double>&);
+template CandidatesT<float> tslu_merge<float>(const CandidatesT<float>&,
+                                              const CandidatesT<float>&);
 
 std::vector<int> build_swap_list(const std::vector<int>& winners, int row0,
                                  int count) {

@@ -13,6 +13,11 @@
 // The pieces are exposed separately because CALU turns each leaf/merge into
 // a DAG task (task P in the paper); tslu_factor() runs the whole pipeline
 // sequentially for standalone use and tests.
+//
+// The tournament pieces are precision-templated: the mixed-precision path
+// runs the whole engine (tournament included) in float32, so leaf/merge
+// operate on whatever element type the packed matrix carries.  The
+// standalone tslu_factor reference stays double-only.
 #pragma once
 
 #include <vector>
@@ -25,30 +30,44 @@ namespace calu::core {
 /// A candidate set: `count` rows of width `width` (column-major, ld =
 /// count), plus the absolute matrix row each candidate came from.  Holds
 /// the rows' *original* values — the tournament only selects pivots.
-struct Candidates {
-  std::vector<double> vals;
+template <class T>
+struct CandidatesT {
+  std::vector<T> vals;
   std::vector<int> src;
   int count = 0;
   int width = 0;
 
-  const double* data() const { return vals.data(); }
-  double* data() { return vals.data(); }
+  const T* data() const { return vals.data(); }
+  T* data() { return vals.data(); }
 };
+
+using Candidates = CandidatesT<double>;
 
 /// GEPP-select on (rows x width) W (column-major, ld = ldw): factors a
 /// scratch copy with partial pivoting, applies the resulting row swaps to W
 /// and `src` in lockstep, so W's first min(rows, width) rows are the
 /// winners with their origin ids.  Deterministic.
-void tournament_select(int rows, int width, double* w, int ldw,
-                       int* src);
+void tournament_select(int rows, int width, double* w, int ldw, int* src);
+void tournament_select(int rows, int width, float* w, int ldw, int* src);
 
 /// Leaf step: gather the given tiles of panel column `kcol` (tile rows in
 /// `tile_rows`, ascending) from `a`, select, and return the winner set.
-Candidates tslu_leaf(const layout::PackedMatrix& a, int kcol,
-                     const std::vector<int>& tile_rows);
+template <class T>
+CandidatesT<T> tslu_leaf(const layout::PackedMatrixT<T>& a, int kcol,
+                         const std::vector<int>& tile_rows);
 
 /// Merge step: stack two candidate sets, select, return the winner set.
-Candidates tslu_merge(const Candidates& x, const Candidates& y);
+template <class T>
+CandidatesT<T> tslu_merge(const CandidatesT<T>& x, const CandidatesT<T>& y);
+
+extern template CandidatesT<double> tslu_leaf<double>(
+    const layout::PackedMatrixT<double>&, int, const std::vector<int>&);
+extern template CandidatesT<float> tslu_leaf<float>(
+    const layout::PackedMatrixT<float>&, int, const std::vector<int>&);
+extern template CandidatesT<double> tslu_merge<double>(
+    const CandidatesT<double>&, const CandidatesT<double>&);
+extern template CandidatesT<float> tslu_merge<float>(const CandidatesT<float>&,
+                                                     const CandidatesT<float>&);
 
 /// Turn the root winners into a LAPACK-style swap list relative to panel
 /// top row `row0`: result[i] = absolute row swapped with row (row0 + i).

@@ -6,9 +6,6 @@
 
 namespace calu::layout {
 
-PackedMatrix pack_bcl(const Matrix& a, int b, Grid grid);  // block_cyclic.cpp
-PackedMatrix pack_2l(const Matrix& a, int b, Grid grid);   // two_level.cpp
-
 const char* layout_name(Layout l) {
   switch (l) {
     case Layout::ColumnMajor: return "CM";
@@ -18,12 +15,13 @@ const char* layout_name(Layout l) {
   return "?";
 }
 
-PackedMatrix PackedMatrix::pack(const Matrix& a, Layout layout, int b,
-                                Grid grid) {
+template <class T>
+PackedMatrixT<T> PackedMatrixT<T>::pack(const Matrix& a, Layout layout, int b,
+                                        Grid grid) {
   assert(b >= 1);
-  if (layout == Layout::BlockCyclic) return pack_bcl(a, b, grid);
-  if (layout == Layout::TwoLevelBlock) return pack_2l(a, b, grid);
-  PackedMatrix p;
+  if (layout == Layout::BlockCyclic) return pack_bcl<T>(a, b, grid);
+  if (layout == Layout::TwoLevelBlock) return pack_2l<T>(a, b, grid);
+  PackedMatrixT p;
   p.layout_ = Layout::ColumnMajor;
   p.tiling_ = Tiling{a.rows(), a.cols(), b};
   p.grid_ = grid;
@@ -35,10 +33,11 @@ PackedMatrix PackedMatrix::pack(const Matrix& a, Layout layout, int b,
   return p;
 }
 
-BlockRef PackedMatrix::block(int I, int J) {
+template <class T>
+BlockRefT<T> PackedMatrixT<T>::block(int I, int J) {
   const Tiling& t = tiling_;
   assert(I >= 0 && I < t.mb() && J >= 0 && J < t.nb());
-  BlockRef r;
+  BlockRefT<T> r;
   r.rows = t.tile_rows(I);
   r.cols = t.tile_cols(J);
   switch (layout_) {
@@ -72,7 +71,8 @@ BlockRef PackedMatrix::block(int I, int J) {
   return r;
 }
 
-int PackedMatrix::owned_run_down(int I, int J, int max_tiles) const {
+template <class T>
+int PackedMatrixT<T>::owned_run_down(int I, int J, int max_tiles) const {
   (void)J;
   if (max_tiles <= 1) return max_tiles;
   const int mb = tiling_.mb();
@@ -95,20 +95,22 @@ int PackedMatrix::owned_run_down(int I, int J, int max_tiles) const {
   return 1;
 }
 
-BlockRef PackedMatrix::column_segment(int I, int J, int ntiles) {
+template <class T>
+BlockRefT<T> PackedMatrixT<T>::column_segment(int I, int J, int ntiles) {
   assert(ntiles >= 1);
   const int step = layout_ == Layout::ColumnMajor ? 1 : grid_.pr;
-  BlockRef first = block(I, J);
+  BlockRefT<T> first = block(I, J);
   if (ntiles == 1) return first;
   assert(layout_ != Layout::TwoLevelBlock);
   int rows = 0;
   for (int k = 0; k < ntiles; ++k) rows += tiling_.tile_rows(I + k * step);
-  BlockRef r = first;
+  BlockRefT<T> r = first;
   r.rows = rows;
   return r;
 }
 
-void PackedMatrix::swap_rows_global(int c0, int c1, int r1, int r2) {
+template <class T>
+void PackedMatrixT<T>::swap_rows_global(int c0, int c1, int r1, int r2) {
   if (r1 == r2 || c0 >= c1) return;
   const Tiling& t = tiling_;
   const int I1 = r1 / t.b, i1 = r1 % t.b;
@@ -117,12 +119,12 @@ void PackedMatrix::swap_rows_global(int c0, int c1, int r1, int r2) {
   int c = c0;
   while (c < c1) {
     const int jend = std::min(c1, t.col0(J) + t.tile_cols(J));
-    BlockRef b1 = block(I1, J);
-    BlockRef b2 = block(I2, J);
+    BlockRefT<T> b1 = block(I1, J);
+    BlockRefT<T> b2 = block(I2, J);
     for (int j = c - t.col0(J); j < jend - t.col0(J); ++j) {
-      double& x = b1.ptr[i1 + static_cast<std::size_t>(j) * b1.ld];
-      double& y = b2.ptr[i2 + static_cast<std::size_t>(j) * b2.ld];
-      const double tmp = x;
+      T& x = b1.ptr[i1 + static_cast<std::size_t>(j) * b1.ld];
+      T& y = b2.ptr[i2 + static_cast<std::size_t>(j) * b2.ld];
+      const T tmp = x;
       x = y;
       y = tmp;
     }
@@ -131,18 +133,20 @@ void PackedMatrix::swap_rows_global(int c0, int c1, int r1, int r2) {
   }
 }
 
-double PackedMatrix::get(int i, int j) const {
+template <class T>
+double PackedMatrixT<T>::get(int i, int j) const {
   const Tiling& t = tiling_;
-  BlockRef b = block(i / t.b, j / t.b);
+  BlockRefT<T> b = block(i / t.b, j / t.b);
   return b.ptr[(i % t.b) + static_cast<std::size_t>(j % t.b) * b.ld];
 }
 
-void PackedMatrix::unpack(Matrix& a) const {
+template <class T>
+void PackedMatrixT<T>::unpack(Matrix& a) const {
   const Tiling& t = tiling_;
   assert(a.rows() == t.m && a.cols() == t.n);
   for (int J = 0; J < t.nb(); ++J) {
     for (int I = 0; I < t.mb(); ++I) {
-      BlockRef src = block(I, J);
+      BlockRefT<T> src = block(I, J);
       double* dst =
           a.data() + t.row0(I) + static_cast<std::size_t>(t.col0(J)) * a.ld();
       for (int j = 0; j < src.cols; ++j)
@@ -152,5 +156,8 @@ void PackedMatrix::unpack(Matrix& a) const {
     }
   }
 }
+
+template class PackedMatrixT<double>;
+template class PackedMatrixT<float>;
 
 }  // namespace calu::layout

@@ -26,8 +26,9 @@ int owned_cols(const Tiling& t, const Grid& g, int tj) {
 
 }  // namespace
 
-PackedMatrix pack_bcl(const Matrix& a, int b, Grid grid) {
-  PackedMatrix p;
+template <class T>
+PackedMatrixT<T> pack_bcl(const Matrix& a, int b, Grid grid) {
+  PackedMatrixT<T> p;
   p.layout_ = Layout::BlockCyclic;
   p.tiling_ = Tiling{a.rows(), a.cols(), b};
   p.grid_ = grid;
@@ -42,7 +43,7 @@ PackedMatrix pack_bcl(const Matrix& a, int b, Grid grid) {
       p.local_rows_[tid] = lrows;
       p.local_tile_rows_[tid] = owned_tile_rows(t, grid, ti);
       p.bufs_[tid].assign(
-          static_cast<std::size_t>(lrows) * owned_cols(t, grid, tj), 0.0);
+          static_cast<std::size_t>(lrows) * owned_cols(t, grid, tj), T(0));
     }
   }
   // Copy tile by tile.  Owned tiles earlier in a column are always full
@@ -50,16 +51,19 @@ PackedMatrix pack_bcl(const Matrix& a, int b, Grid grid) {
   // are simple multiples of b.
   for (int J = 0; J < t.nb(); ++J) {
     for (int I = 0; I < t.mb(); ++I) {
-      BlockRef dst = p.block(I, J);
+      BlockRefT<T> dst = p.block(I, J);
       const double* src =
           a.data() + t.row0(I) + static_cast<std::size_t>(t.col0(J)) * a.ld();
       for (int j = 0; j < dst.cols; ++j)
         for (int i = 0; i < dst.rows; ++i)
           dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
-              src[i + static_cast<std::size_t>(j) * a.ld()];
+              static_cast<T>(src[i + static_cast<std::size_t>(j) * a.ld()]);
     }
   }
   return p;
 }
+
+template PackedMatrixT<double> pack_bcl<double>(const Matrix&, int, Grid);
+template PackedMatrixT<float> pack_bcl<float>(const Matrix&, int, Grid);
 
 }  // namespace calu::layout

@@ -14,8 +14,18 @@
 //
 // All three are accessed through the same tile interface, so the DAG engine
 // is layout-agnostic.
+//
+// The container is templated over the element type: the engine factors
+// double matrices, while the mixed-precision path (core::gesv_mixed)
+// factors a float32 copy with IDENTICAL geometry — same tiling, same
+// per-thread buffer shapes, same tile adjacency — so every scheduling
+// decision and tile view carries over unchanged.  Cross-precision
+// conversion is buffer-wise (convert_from), never a repack.  `Matrix`
+// itself stays double-only; a float packed matrix only ever exists as a
+// converted copy of a double one.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "src/layout/grid.h"
@@ -42,31 +52,72 @@ struct Tiling {
 
 /// A writable view of one tile (or a vertical group of tiles): column-major
 /// with leading dimension ld.
-struct BlockRef {
-  double* ptr = nullptr;
+template <class T>
+struct BlockRefT {
+  T* ptr = nullptr;
   int ld = 0;
   int rows = 0;
   int cols = 0;
 };
 
+using BlockRef = BlockRefT<double>;
+
+template <class T>
+class PackedMatrixT;
+
+template <class T>
+PackedMatrixT<T> pack_bcl(const Matrix& a, int b, Grid grid);
+template <class T>
+PackedMatrixT<T> pack_2l(const Matrix& a, int b, Grid grid);
+
 /// A dense matrix packed into one of the three layouts.  Thread-safe for
 /// concurrent access to distinct tiles (tiles never alias).
-class PackedMatrix {
+template <class T>
+class PackedMatrixT {
  public:
-  PackedMatrix() = default;
+  PackedMatrixT() = default;
 
   /// Pack a column-major matrix.  `b` is the tile size, `grid` the thread
   /// grid used for the cyclic distribution (ignored for ColumnMajor).
-  static PackedMatrix pack(const Matrix& a, Layout layout, int b, Grid grid);
+  /// For T = float this converts while packing (one pass).
+  static PackedMatrixT pack(const Matrix& a, Layout layout, int b, Grid grid);
 
   /// Write the packed contents back into a column-major matrix (must have
-  /// matching dimensions).
+  /// matching dimensions).  Converting for T = float.
   void unpack(Matrix& a) const;
 
+  /// Same-geometry copy of `o` at this precision (buffer-wise element
+  /// cast; no repacking — tile offsets are precision-independent).
+  template <class U>
+  static PackedMatrixT convert_from(const PackedMatrixT<U>& o) {
+    PackedMatrixT p;
+    p.layout_ = o.layout_;
+    p.tiling_ = o.tiling_;
+    p.grid_ = o.grid_;
+    p.local_rows_ = o.local_rows_;
+    p.local_tile_rows_ = o.local_tile_rows_;
+    p.bufs_.resize(o.bufs_.size());
+    for (std::size_t t = 0; t < o.bufs_.size(); ++t)
+      p.bufs_[t].assign(o.bufs_[t].begin(), o.bufs_[t].end());
+    return p;
+  }
+
+  /// Element-wise cast of this matrix's buffers into `o`'s (the two must
+  /// be convert_from-related: identical layout/tiling/grid).
+  template <class U>
+  void convert_into(PackedMatrixT<U>& o) const {
+    for (std::size_t t = 0; t < bufs_.size(); ++t) {
+      const std::vector<T>& src = bufs_[t];
+      std::vector<U>& dst = o.bufs_[t];
+      for (std::size_t i = 0; i < src.size(); ++i)
+        dst[i] = static_cast<U>(src[i]);
+    }
+  }
+
   /// View of tile (I, J).
-  BlockRef block(int I, int J);
-  BlockRef block(int I, int J) const {
-    return const_cast<PackedMatrix*>(this)->block(I, J);
+  BlockRefT<T> block(int I, int J);
+  BlockRefT<T> block(int I, int J) const {
+    return const_cast<PackedMatrixT*>(this)->block(I, J);
   }
 
   /// BCL only: the number of tiles {I, I+pr, I+2*pr, ...} in tile column J,
@@ -77,7 +128,7 @@ class PackedMatrix {
   /// View covering the `ntiles` tiles {I, I+step, ...} of tile column J
   /// where step = grid.pr (BCL) — a single (sum of heights) x tile_cols(J)
   /// column-major block.  Requires owned_run_down(I,J,..) >= ntiles.
-  BlockRef column_segment(int I, int J, int ntiles);
+  BlockRefT<T> column_segment(int I, int J, int ntiles);
 
   /// Swap global rows r1 and r2 across global columns [c0, c1).  Routed
   /// through tiles, so it works for every layout; this implements both the
@@ -97,12 +148,19 @@ class PackedMatrix {
   // CM: bufs_[0] holds the whole matrix (ld = m).
   // BCL: bufs_[t] is thread t's submatrix, ld = local_rows_[t].
   // 2l-BL: bufs_[t] is thread t's padded tile array (b*b per tile).
-  std::vector<std::vector<double>> bufs_;
+  std::vector<std::vector<T>> bufs_;
   std::vector<int> local_rows_;       // BCL ld / 2l-BL owned tile rows
   std::vector<int> local_tile_rows_;  // per-thread owned tile-row count
 
-  friend PackedMatrix pack_bcl(const Matrix&, int, Grid);
-  friend PackedMatrix pack_2l(const Matrix&, int, Grid);
+  template <class U>
+  friend class PackedMatrixT;
+  friend PackedMatrixT pack_bcl<T>(const Matrix&, int, Grid);
+  friend PackedMatrixT pack_2l<T>(const Matrix&, int, Grid);
 };
+
+using PackedMatrix = PackedMatrixT<double>;
+
+extern template class PackedMatrixT<double>;
+extern template class PackedMatrixT<float>;
 
 }  // namespace calu::layout

@@ -8,8 +8,9 @@
 
 namespace calu::layout {
 
-PackedMatrix pack_2l(const Matrix& a, int b, Grid grid) {
-  PackedMatrix p;
+template <class T>
+PackedMatrixT<T> pack_2l(const Matrix& a, int b, Grid grid) {
+  PackedMatrixT<T> p;
   p.layout_ = Layout::TwoLevelBlock;
   p.tiling_ = Tiling{a.rows(), a.cols(), b};
   p.grid_ = grid;
@@ -24,21 +25,24 @@ PackedMatrix pack_2l(const Matrix& a, int b, Grid grid) {
       const int tid = ti * grid.pc + tj;
       const int ltc = tj < nb ? (nb - tj + grid.pc - 1) / grid.pc : 0;
       p.local_tile_rows_[tid] = ltr;
-      p.bufs_[tid].assign(static_cast<std::size_t>(ltr) * ltc * b * b, 0.0);
+      p.bufs_[tid].assign(static_cast<std::size_t>(ltr) * ltc * b * b, T(0));
     }
   }
   for (int J = 0; J < nb; ++J) {
     for (int I = 0; I < mb; ++I) {
-      BlockRef dst = p.block(I, J);
+      BlockRefT<T> dst = p.block(I, J);
       const double* src =
           a.data() + t.row0(I) + static_cast<std::size_t>(t.col0(J)) * a.ld();
       for (int j = 0; j < dst.cols; ++j)
         for (int i = 0; i < dst.rows; ++i)
           dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
-              src[i + static_cast<std::size_t>(j) * a.ld()];
+              static_cast<T>(src[i + static_cast<std::size_t>(j) * a.ld()]);
     }
   }
   return p;
 }
+
+template PackedMatrixT<double> pack_2l<double>(const Matrix&, int, Grid);
+template PackedMatrixT<float> pack_2l<float>(const Matrix&, int, Grid);
 
 }  // namespace calu::layout

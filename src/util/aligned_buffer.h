@@ -1,4 +1,4 @@
-// aligned_buffer.h — grow-only 64-byte-aligned double scratch.
+// aligned_buffer.h — grow-only 64-byte-aligned scalar scratch.
 //
 // The kernel layer packs operands into cache-friendly buffers; those packs
 // feed SIMD loads, so the storage must be 64-byte aligned (a full AVX-512
@@ -6,7 +6,10 @@
 // and its value-initialization on resize() is wasted work for scratch that
 // is fully overwritten by the pack.  This buffer grows monotonically,
 // never preserves contents across grows, and releases with the same
-// aligned operator delete[] the Matrix container uses.
+// aligned operator delete[] the Matrix container uses.  Templated over the
+// element type so the float and double kernel layers share one scratch
+// implementation; `AlignedBuffer` stays the double alias every
+// pre-mixed-precision call site uses.
 #pragma once
 
 #include <cstddef>
@@ -15,19 +18,20 @@
 
 namespace calu::util {
 
-class AlignedBuffer {
+template <class T>
+class AlignedBufferT {
  public:
-  double* data() { return data_.get(); }
-  const double* data() const { return data_.get(); }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
   std::size_t size() const { return size_; }
   bool allocated() const { return data_ != nullptr; }
 
-  /// Ensures room for `n` doubles.  Contents are NOT preserved across a
+  /// Ensures room for `n` elements.  Contents are NOT preserved across a
   /// grow and are uninitialized after it.
   void reserve(std::size_t n) {
     if (n <= size_) return;
-    data_.reset(static_cast<double*>(
-        ::operator new[](n * sizeof(double), std::align_val_t{64})));
+    data_.reset(static_cast<T*>(
+        ::operator new[](n * sizeof(T), std::align_val_t{64})));
     size_ = n;
   }
 
@@ -40,12 +44,14 @@ class AlignedBuffer {
 
  private:
   struct Free {
-    void operator()(double* p) const noexcept {
+    void operator()(T* p) const noexcept {
       ::operator delete[](p, std::align_val_t{64});
     }
   };
-  std::unique_ptr<double[], Free> data_;
+  std::unique_ptr<T[], Free> data_;
   std::size_t size_ = 0;
 };
+
+using AlignedBuffer = AlignedBufferT<double>;
 
 }  // namespace calu::util

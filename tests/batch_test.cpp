@@ -356,6 +356,66 @@ TEST(BatchedRun, FusedGesvJobsMatchSequentialAndLeaveInputsUntouched) {
   }
 }
 
+TEST(BatchedRun, FusedRunCarriesMixedPrecisionJobs) {
+  // One fused engine run interleaving a double job, a float32 solve job
+  // (full gesv_mixed epilogue), and a float32 factor-only job.  The mixed
+  // solve must land at double accuracy without fallback; fused and
+  // sequential must agree bit-for-bit, precision stamps included.
+  std::vector<Matrix> as;
+  as.push_back(Matrix::random(96, 96, 2301));
+  as.push_back(Matrix::random(64, 64, 2302));
+  std::vector<Matrix> bs;
+  bs.push_back(Matrix::random(96, 1, 2303));
+  bs.push_back(Matrix::random(64, 2, 2304));
+  Matrix factor_only = Matrix::random(80, 80, 2305);
+
+  auto make_jobs = [&](std::vector<Matrix>& fo) {
+    std::vector<core::BatchJob> jobs(3);
+    jobs[0].a = &as[0];
+    jobs[0].rhs = &bs[0];
+    jobs[0].options = batch_options("hybrid", true);
+    jobs[1].a = &as[1];
+    jobs[1].rhs = &bs[1];
+    jobs[1].options = batch_options("hybrid", true);
+    jobs[1].options.precision = core::Precision::Float32;
+    jobs[1].options.max_refine = 8;
+    jobs[2].a = &fo[0];
+    jobs[2].options = batch_options("hybrid", true);
+    jobs[2].options.precision = core::Precision::Float32;
+    return jobs;
+  };
+
+  std::vector<Matrix> seq_fo{factor_only}, fus_fo{factor_only};
+  std::vector<core::BatchJob> seq_jobs = make_jobs(seq_fo);
+  sched::Session seq_session(sched::SessionOptions{4, false});
+  core::BatchRunResult seq =
+      core::batched_run(seq_jobs, seq_session, core::BatchMode::Sequential);
+
+  std::vector<core::BatchJob> fus_jobs = make_jobs(fus_fo);
+  sched::Session fus_session(sched::SessionOptions{4, false});
+  core::BatchRunResult fus =
+      core::batched_run(fus_jobs, fus_session, core::BatchMode::Fused);
+
+  for (core::BatchRunResult* r : {&seq, &fus}) {
+    EXPECT_EQ(r->jobs[0].factorization.stats.precision,
+              core::Precision::Double);
+    EXPECT_EQ(r->jobs[1].factorization.stats.precision,
+              core::Precision::Float32);
+    EXPECT_EQ(r->jobs[2].factorization.stats.precision,
+              core::Precision::Float32);
+    EXPECT_LT(r->jobs[0].residual, 1e-13);
+    EXPECT_LT(r->jobs[1].residual, 1e-13);  // refined to double accuracy
+    EXPECT_FALSE(r->jobs[1].used_fallback);
+    EXPECT_GE(r->jobs[1].refine_steps, 1);
+  }
+  EXPECT_EQ(test::max_abs_diff(fus.jobs[0].x, seq.jobs[0].x), 0.0);
+  EXPECT_EQ(test::max_abs_diff(fus.jobs[1].x, seq.jobs[1].x), 0.0);
+  EXPECT_EQ(fus.jobs[1].refine_steps, seq.jobs[1].refine_steps);
+  // Factor-only float job: same float-accuracy factors either way.
+  EXPECT_EQ(test::max_abs_diff(seq_fo[0], fus_fo[0]), 0.0);
+  EXPECT_EQ(fus.jobs[2].factorization.ipiv, seq.jobs[2].factorization.ipiv);
+}
+
 TEST(BatchedRun, CompletionCallbacksFireOncePerJob) {
   const Options opt = batch_options("hybrid", true);
 

@@ -275,6 +275,188 @@ TEST_P(KernelConformance, TrsmAllCasesBoundarySweep) {
             }
 }
 
+// ------------------------------------------------------------- float32 ---
+//
+// The same sweeps against the float kernel table (mixed-precision layer).
+// select_kernel() pins both precisions together, so the fixture's variant
+// parameter governs these too.  References are computed in DOUBLE on the
+// float inputs — the float kernels are then held to forward-error bounds
+// scaled by eps_f instead of eps_d.  The double sweeps above are
+// untouched: float coverage is additive.
+
+/// Column-major float matrix seeded from Matrix::random (exact
+/// double -> float rounding of the same deterministic values).
+struct FMat {
+  int rows = 0, cols = 0;
+  std::vector<float> v;
+  FMat() = default;
+  FMat(int m, int n) : rows(m), cols(n), v(static_cast<std::size_t>(m) * n) {}
+  static FMat random(int m, int n, std::uint64_t seed) {
+    const Matrix d = Matrix::random(m, n, seed);
+    FMat f(m, n);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) f(i, j) = static_cast<float>(d(i, j));
+    return f;
+  }
+  float& operator()(int i, int j) {
+    return v[i + static_cast<std::size_t>(j) * rows];
+  }
+  float operator()(int i, int j) const {
+    return v[i + static_cast<std::size_t>(j) * rows];
+  }
+  float* data() { return v.data(); }
+  const float* data() const { return v.data(); }
+  int ld() const { return rows; }
+};
+
+void ref_gemm_f(Trans ta, Trans tb, int m, int n, int k, float alpha,
+                const FMat& a, const FMat& b, float beta, FMat& c) {
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double av = ta == Trans::No ? a(i, p) : a(p, i);
+        const double bv = tb == Trans::No ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      c(i, j) = static_cast<float>(alpha * s + double(beta) * c(i, j));
+    }
+}
+
+void check_case_f(Trans ta, Trans tb, int m, int n, int k, float alpha,
+                  float beta, std::uint64_t seed) {
+  const FMat a = ta == Trans::No ? FMat::random(m, k, seed)
+                                 : FMat::random(k, m, seed);
+  const FMat b = tb == Trans::No ? FMat::random(k, n, seed + 1)
+                                 : FMat::random(n, k, seed + 1);
+  const FMat c0 = FMat::random(m, n, seed + 2);
+  FMat want = c0;
+  ref_gemm_f(ta, tb, m, n, k, alpha, a, b, beta, want);
+  // Same error model as the double sweep with eps_f in place of eps_d.
+  const double tol = 1.2e-7 * (std::abs(double(alpha)) * k + 1.0) * (k + 4);
+  const auto check = [&](const FMat& got, const char* path) {
+    double worst = 0.0;
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i)
+        worst = std::max(worst, std::abs(double(got(i, j)) - want(i, j)));
+    ASSERT_LE(worst, tol) << path << " m=" << m << " n=" << n << " k=" << k
+                          << " alpha=" << alpha << " beta=" << beta
+                          << " ta=" << (ta == Trans::Yes) << " tb="
+                          << (tb == Trans::Yes) << " kernel="
+                          << blas::active_kernel().name << " (float)";
+  };
+
+  FMat c = c0;
+  blas::gemm(ta, tb, m, n, k, alpha, a.data(), a.ld(), b.data(), b.ld(),
+             beta, c.data(), c.ld());
+  check(c, "gemm");
+
+  c = c0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) c(i, j) *= beta;
+  std::vector<float> ap(blas::packed_a_size<float>(m, k));
+  std::vector<float> bp(blas::packed_b_size<float>(k, n));
+  blas::gemm_pack_a(ta, m, k, a.data(), a.ld(), ap.data());
+  blas::gemm_pack_b(tb, k, n, b.data(), b.ld(), bp.data());
+  blas::gemm_packed(m, n, k, alpha, ap.data(), bp.data(), c.data(), c.ld());
+  check(c, "gemm_packed");
+}
+
+TEST_P(KernelConformance, FloatRaggedAndStripBoundarySweep) {
+  const blas::MicroKernelT<float>& mk = blas::active_kernel_t<float>();
+  std::vector<int> sizes;
+  for (int v = 1; v <= 9; ++v) sizes.push_back(v);
+  for (int v : {mk.mr - 1, mk.mr, mk.mr + 1, mk.nr - 1, mk.nr, mk.nr + 1})
+    if (v >= 1) sizes.push_back(v);
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+
+  std::uint64_t seed = 700;
+  for (const TransCase& tc : kTrans)
+    for (int m : sizes)
+      for (int n : sizes)
+        for (int k : sizes)
+          for (double alpha : kScalars)
+            for (double beta : kScalars)
+              check_case_f(tc.ta, tc.tb, m, n, k, static_cast<float>(alpha),
+                           static_cast<float>(beta), ++seed);
+}
+
+TEST_P(KernelConformance, FloatCacheBlockBoundaries) {
+  const blas::MicroKernelT<float>& mk = blas::active_kernel_t<float>();
+  std::uint64_t seed = 19000;
+  for (int m : {mk.mc - 1, mk.mc, mk.mc + 1})
+    for (int k : {mk.kc - 1, mk.kc + 1})
+      for (const TransCase& tc : kTrans)
+        check_case_f(tc.ta, tc.tb, m, 2 * mk.nr, k, -0.5f, 1.0f, ++seed);
+  for (int n : {mk.nc - 1, mk.nc + 1})
+    for (const TransCase& tc : kTrans)
+      check_case_f(tc.ta, tc.tb, 9, n, 9, 1.0f, -0.5f, ++seed);
+}
+
+TEST_P(KernelConformance, FloatTrsmAllCasesBoundarySweep) {
+  const int kLeaf = blas::kTrsmLeafNB;
+  const int kBlk = blas::kTrsmBlock;
+  const std::vector<int> tri_sizes = {1,  kLeaf - 1, kLeaf,    kLeaf + 1,
+                                      31, 33,        kBlk - 1, kBlk,
+                                      kBlk + 1,      257};
+  const std::vector<int> rhs_sizes = {1, 31, 64};
+  std::uint64_t seed = 150000;
+  for (Side side : {Side::Left, Side::Right})
+    for (UpLo uplo : {UpLo::Lower, UpLo::Upper})
+      for (Trans trans : {Trans::No, Trans::Yes})
+        for (Diag diag : {Diag::Unit, Diag::NonUnit})
+          for (int d : tri_sizes)
+            for (int nrhs : rhs_sizes) {
+              const int m = side == Side::Left ? d : nrhs;
+              const int n = side == Side::Left ? nrhs : d;
+              const float alpha = (d + nrhs) % 2 ? 1.0f : -0.5f;
+              const FMat t0 = FMat::random(d, d, ++seed);
+              FMat t = t0;
+              for (int j = 0; j < d; ++j)
+                for (int i = 0; i < d; ++i)
+                  t(i, j) = t0(i, j) * 0.5f / static_cast<float>(d);
+              for (int i = 0; i < d; ++i)
+                t(i, i) = static_cast<float>(3.0 + i % 5);
+              const FMat b0 = FMat::random(m, n, ++seed);
+              FMat x = b0;
+              blas::trsm(side, uplo, trans, diag, m, n, alpha, t.data(),
+                         t.ld(), x.data(), x.ld());
+              // Double reference on the double-promoted inputs: the float
+              // solve is held to a forward-error bound in eps_f.
+              Matrix td(d, d), bd(m, n);
+              for (int j = 0; j < d; ++j)
+                for (int i = 0; i < d; ++i) td(i, j) = t(i, j);
+              for (int j = 0; j < n; ++j)
+                for (int i = 0; i < m; ++i) bd(i, j) = b0(i, j);
+              ref_trsm(side, uplo, trans, diag, m, n, alpha, td.data(),
+                       td.ld(), bd.data(), bd.ld());
+              double diff = 0.0, xmax = 0.0;
+              for (int j = 0; j < n; ++j)
+                for (int i = 0; i < m; ++i) {
+                  diff = std::max(diff, std::abs(double(x(i, j)) - bd(i, j)));
+                  xmax = std::max(xmax, std::abs(bd(i, j)));
+                }
+              ASSERT_LE(diff, 1e-4 * d * (1.0 + xmax))
+                  << "side=" << (side == Side::Right) << " uplo="
+                  << (uplo == UpLo::Upper) << " trans="
+                  << (trans == Trans::Yes) << " diag="
+                  << (diag == Diag::NonUnit) << " d=" << d << " nrhs="
+                  << nrhs << " kernel=" << blas::active_kernel().name
+                  << " (float)";
+            }
+}
+
+TEST_P(KernelConformance, FloatAndDoubleTablesShareVariantNames) {
+  const blas::MicroKernel& d = blas::active_kernel();
+  const blas::MicroKernelT<float>& f = blas::active_kernel_t<float>();
+  EXPECT_STREQ(d.name, f.name);
+  // Float strips must also tile the float cache blocks exactly.
+  EXPECT_EQ(f.mc % f.mr, 0);
+  EXPECT_EQ(f.nc % f.nr, 0);
+  EXPECT_GE(f.kc, 128);
+}
+
 INSTANTIATE_TEST_SUITE_P(Dispatched, KernelConformance,
                          ::testing::ValuesIn(blas::available_kernels()),
                          test::kernel_param_name);

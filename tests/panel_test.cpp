@@ -161,9 +161,115 @@ TEST_P(PanelExactness, RecursivePivotsMatchReference) {
   }
 }
 
+// ------------------------------------------------------------- float32 ---
+//
+// The panel contract holds PER PRECISION (microkernel.h): the float
+// kernels must chain float roundings exactly as unblocked float
+// elimination would.  Same reference algorithm, float arithmetic, float
+// mul_then_sub — and the same bit-identity bar, not a tolerance.  The
+// double tests above are untouched.
+
+int ref_getf2_f(int m, int n, float* a, int lda, int* ipiv) {
+  const int kmin = std::min(m, n);
+  int info = 0;
+  for (int j = 0; j < kmin; ++j) {
+    float* col = a + static_cast<std::size_t>(j) * lda;
+    int piv = j;
+    float best = std::fabs(col[j]);
+    for (int i = j + 1; i < m; ++i) {
+      const float v = std::fabs(col[i]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    ipiv[j] = piv;
+    if (best == 0.0f) {
+      if (info == 0) info = j + 1;
+      continue;
+    }
+    if (piv != j) blas::swap_rows(n, a, lda, j, piv);
+    const float inv = 1.0f / col[j];
+    for (int i = j + 1; i < m; ++i) col[i] *= inv;
+    for (int jj = j + 1; jj < n; ++jj) {
+      float* cjj = a + static_cast<std::size_t>(jj) * lda;
+      const float ujj = cjj[j];
+      if (ujj == 0.0f) continue;
+      for (int i = j + 1; i < m; ++i)
+        cjj[i] = blas::mul_then_sub(cjj[i], col[i], ujj);
+    }
+  }
+  return info;
+}
+
+std::vector<float> random_f(int m, int n, std::uint64_t seed) {
+  const Matrix d = Matrix::random(m, n, seed);
+  std::vector<float> f(static_cast<std::size_t>(m) * n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      f[i + static_cast<std::size_t>(j) * m] = static_cast<float>(d(i, j));
+  return f;
+}
+
+TEST_P(PanelExactness, FloatGetf2BitIdenticalToUnblocked) {
+  std::uint64_t seed = 77;
+  for (const auto& [m, n] : kShapes) {
+    std::vector<float> a = random_f(m, n, ++seed);
+    std::vector<float> b = a;
+    std::vector<int> ipa(std::min(m, n)), ipb(std::min(m, n));
+    const int info_a = blas::getf2(m, n, a.data(), m, ipa.data());
+    const int info_b = ref_getf2_f(m, n, b.data(), m, ipb.data());
+    EXPECT_EQ(info_a, info_b) << m << "x" << n;
+    EXPECT_EQ(ipa, ipb) << m << "x" << n;
+    EXPECT_EQ(a, b) << m << "x" << n;  // element-wise bit equality
+  }
+}
+
+TEST_P(PanelExactness, FloatRecursivePivotsMatchReference) {
+  std::uint64_t seed = 1700;
+  for (const auto& [m, n] : kShapes) {
+    std::vector<float> a = random_f(m, n, ++seed);
+    std::vector<float> b = a;
+    std::vector<int> ipa(std::min(m, n)), ipb(std::min(m, n));
+    blas::getrf_recursive(m, n, a.data(), m, ipa.data());
+    ref_getf2_f(m, n, b.data(), m, ipb.data());
+    EXPECT_EQ(ipa, ipb) << m << "x" << n;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      worst = std::max(worst, std::abs(double(a[i]) - double(b[i])));
+    EXPECT_LT(worst, 1e-3) << m << "x" << n;  // rounding-level, eps_f scale
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Dispatched, PanelExactness,
                          ::testing::ValuesIn(blas::available_kernels()),
                          test::kernel_param_name);
+
+TEST(PanelCrossVariant, FloatIdenticalAcrossDispatchedKernels) {
+  // The cross-variant bitwise contract, float table: a tournament whose
+  // tasks dispatch differently must still replay identical float pivots.
+  const std::vector<std::string> names = blas::available_kernels();
+  for (const auto& [m, n] :
+       {std::pair{64, 64}, {200, 128}, {257, 48}, {48, 257}}) {
+    const std::vector<float> base = random_f(m, n, 4343);
+    std::vector<float> first;
+    std::vector<int> ip_first;
+    for (std::size_t k = 0; k < names.size(); ++k) {
+      ASSERT_TRUE(blas::select_kernel(names[k].c_str()));
+      std::vector<float> a = base;
+      std::vector<int> ipiv(std::min(m, n));
+      blas::getf2(m, n, a.data(), m, ipiv.data());
+      if (k == 0) {
+        first = a;
+        ip_first = ipiv;
+      } else {
+        EXPECT_EQ(ipiv, ip_first) << names[k] << " " << m << "x" << n;
+        EXPECT_EQ(a, first) << names[k] << " " << m << "x" << n;
+      }
+    }
+    blas::select_kernel(nullptr);
+  }
+}
 
 TEST(PanelCrossVariant, IdenticalAcrossDispatchedKernels) {
   // All dispatch variants implement the same rounding chains, so the

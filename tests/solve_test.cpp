@@ -144,6 +144,82 @@ TEST(Gesv, ZeroMatrixReportsNaNResidual) {
   EXPECT_EQ(res.refine_steps, 1);
 }
 
+TEST(GesvMixed, WellConditionedReachesDoubleAccuracy) {
+  // The headline contract: float32 factorization + double refinement ends
+  // at the same residual level as full-double gesv, without fallback.
+  const int n = 120;
+  Matrix a = Matrix::random(n, n, 307);
+  Matrix b = Matrix::random(n, 2, 308);
+  auto res = core::gesv_mixed(a, b, small_opts(/*max_refine=*/8));
+  EXPECT_LT(res.residual, 1e-14);
+  EXPECT_FALSE(res.used_fallback);
+  // Float factors carry ~eps_f error, so at least one step was needed.
+  EXPECT_GE(res.refine_steps, 1);
+  EXPECT_EQ(res.factorization.stats.precision, core::Precision::Float32);
+  EXPECT_FALSE(res.factorization.stats.kernel.empty());
+}
+
+TEST(GesvMixed, MaxRefineZeroAcceptsFloatAccuracy) {
+  // max_refine = 0 means "give me the float-accuracy solution": no
+  // refinement, no accuracy-based fallback.  The residual must sit at
+  // float backward-error level — far above double, far below garbage.
+  const int n = 96;
+  Matrix a = Matrix::random(n, n, 315);
+  Matrix b = Matrix::random(n, 1, 316);
+  auto res = core::gesv_mixed(a, b, small_opts(/*max_refine=*/0));
+  EXPECT_EQ(res.refine_steps, 0);
+  EXPECT_FALSE(res.used_fallback);
+  EXPECT_LT(res.residual, 1e-4);
+  EXPECT_GT(res.residual, 1e-12);  // genuinely float, not double
+}
+
+TEST(GesvMixed, ZeroRhsGivesExactZeroWithoutRefinement) {
+  // Zeros survive float conversion and triangular solves exactly, so the
+  // mixed path must report the same exact-zero contract as gesv.
+  const int n = 48;
+  Matrix a = Matrix::random(n, n, 314);
+  Matrix b(n, 2);  // zeros
+  auto res = core::gesv_mixed(a, b, small_opts(3));
+  EXPECT_EQ(res.refine_steps, 0);
+  EXPECT_EQ(res.residual, 0.0);
+  EXPECT_FALSE(res.used_fallback);
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_EQ(res.x(i, j), 0.0);
+}
+
+TEST(GesvMixed, SingularFallsBackAndStillReportsNaN) {
+  // Exactly singular input: the float solve produces non-finite values,
+  // refinement cannot help, and the full-double fallback runs — which
+  // must preserve the NaN-residual contract (never claim convergence).
+  const int n = 48;
+  Matrix a(n, n);
+  const Matrix v = Matrix::random(n, 1, 317);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = v(i, 0);
+  Matrix b = Matrix::random(n, 1, 318);
+  auto res = core::gesv_mixed(a, b, small_opts(2));
+  EXPECT_TRUE(res.used_fallback);
+  EXPECT_TRUE(std::isnan(res.residual));
+  EXPECT_FALSE(res.residual < 1e-12);
+  // The fallback really ran in double.
+  EXPECT_EQ(res.factorization.stats.precision, core::Precision::Double);
+}
+
+TEST(GesvMixed, IllConditionedFallsBackToFullDouble) {
+  // Hilbert-like, cond >> 1/eps_f: the float factors are finite but
+  // useless, refinement stalls, and the double fallback restores the
+  // backward-stable result gesv would give.
+  const int n = 24;
+  Matrix a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = 1.0 / (1.0 + i + j);
+  Matrix b = Matrix::random(n, 1, 311);
+  auto res = core::gesv_mixed(a, b, small_opts(5));
+  EXPECT_TRUE(res.used_fallback);
+  EXPECT_LT(res.residual, 1e-10);  // same bar as the double gesv test
+  EXPECT_EQ(res.factorization.stats.precision, core::Precision::Double);
+}
+
 TEST(Gesv, WorksAcrossSchedulesAndLayouts) {
   const int n = 96;
   Matrix a = Matrix::random(n, n, 312);
