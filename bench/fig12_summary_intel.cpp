@@ -1,12 +1,13 @@
 // Figure 12: impact of data layout and scheduling, Intel-class run.
 #include "bench/summary.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   summary_sweep("Figure 12", intel_threads(),
                 sizes({1024, 2048, 4096}, {2500, 5000, 10000, 15000}),
                 "dynamic is fairly efficient on this class; small matrices "
                 "favor 2l-BL, large matrices favor BCL (grouped BLAS-3); "
-                "hybrid(10%) with BCL peaks at 79% of machine peak");
+                "hybrid(10%) with BCL peaks at 79% of machine peak",
+                engine_flag(argc, argv));
   return 0;
 }

@@ -1,12 +1,13 @@
 // Figure 13: impact of data layout and scheduling, NUMA-class run.
 #include "bench/summary.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   summary_sweep("Figure 13", numa_threads(),
                 sizes({1024, 2048, 4096}, {2500, 5000, 10000, 15000}),
                 "fully dynamic is highly inefficient on NUMA (cache-miss "
                 "cost); locality via static + small dynamic % is essential; "
-                "hybrid(10%)/BCL reaches 49% of peak at n=15000");
+                "hybrid(10%)/BCL reaches 49% of peak at n=15000",
+                engine_flag(argc, argv));
   return 0;
 }

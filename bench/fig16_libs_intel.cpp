@@ -1,12 +1,13 @@
 // Figure 16: performance of CALU, MKL and PLASMA, Intel-class run.
 #include "bench/libs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   libs_sweep("Figure 16", intel_threads(),
              sizes({1024, 2048, 4096}, {4000, 10000}),
              "CALU hybrid(10%) up to 82% faster than MKL (2l-BL, n=4000), "
              "~60% faster at n=10000; 20-30% over PLASMA incpiv for larger "
-             "matrices");
+             "matrices",
+             engine_flag(argc, argv));
   return 0;
 }

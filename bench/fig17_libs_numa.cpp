@@ -1,11 +1,12 @@
 // Figure 17: performance of CALU, MKL and PLASMA, NUMA-class run.
 #include "bench/libs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace calu::bench;
   libs_sweep("Figure 17", numa_threads(),
              sizes({1024, 2048, 4096}, {4000, 10000}),
              "CALU hybrid(10%) up to 110% faster than MKL at n=10000; "
-             "20-30% over PLASMA incpiv for larger matrices");
+             "20-30% over PLASMA incpiv for larger matrices",
+             engine_flag(argc, argv));
   return 0;
 }

@@ -234,6 +234,24 @@ int run_json(const char* path) {
   // The variant this process would actually dispatch to: the CALU_KERNEL
   // pin if set, else the best the CPU supports.
   std::fprintf(f, "  \"dispatched\": \"%s\",\n", blas::active_kernel().name);
+  // Machine shape + measured steal-distance latencies (ns; -1 = class has
+  // no cpu pair here).  Committed numbers must say what topology produced
+  // them: a single-node container reports 1 package and every cross-
+  // package class unmeasured, which is exactly the caveat a reader of the
+  // numa-hierarchical numbers needs.
+  const sched::Topology& topo = sched::system_topology();
+  std::fprintf(f,
+               "  \"topology\": {\"summary\": \"%s\", \"packages\": %d, "
+               "\"l3_groups\": %d, \"cores\": %d, \"smt_ways\": %d,\n"
+               "               \"distance_classes\": {",
+               topo.summary().c_str(), topo.packages(), topo.l3_groups(),
+               topo.cores(), topo.smt_ways());
+  for (int c = 0; c < sched::kStealClassCount; ++c) {
+    const auto cls = static_cast<sched::StealClass>(c);
+    std::fprintf(f, "%s\"%s\": %.1f", c ? ", " : "",
+                 sched::steal_class_name(cls), topo.class_latency_ns(cls));
+  }
+  std::fprintf(f, "}},\n");
   std::fprintf(f, "  \"kernels\": [\n");
   // Under a CALU_KERNEL pin, sweep only the pinned variant — a CI smoke
   // run pinned to "generic" must not silently re-enable the SIMD paths

@@ -7,11 +7,17 @@
 
 namespace calu::bench {
 
+/// `engine` "" keeps the hybrid default for the CALU rows; any registry
+/// name (e.g. "numa-hierarchical") reruns them under that executor.  The
+/// MKL/PLASMA stand-in rows are engine-independent.
 inline void libs_sweep(const char* fig, int threads,
-                       const std::vector<int>& ns, const char* paper_shape) {
+                       const std::vector<int>& ns, const char* paper_shape,
+                       const std::string& engine = "") {
   print_banner(fig, "CALU vs MKL(getrf_pp) vs PLASMA(getrf_incpiv)",
                paper_shape);
   std::printf("# threads=%d\n", threads);
+  if (!engine.empty())
+    std::printf("# engine=%s (CALU rows)\n", engine.c_str());
   std::printf("%-8s %-26s %-10s %-12s\n", "n", "routine", "Gflop/s",
               "seconds");
   sched::ThreadTeam team(threads, true);
@@ -23,6 +29,7 @@ inline void libs_sweep(const char* fig, int threads,
     opt.b = b;
     opt.schedule = core::Schedule::Hybrid;
     opt.dratio = 0.10;
+    opt.engine = engine;
     opt.layout = layout::Layout::BlockCyclic;
     Timing t = time_calu(a0, opt, team);
     std::printf("%-8d %-26s %-10.2f %-12.4f\n", n, "CALU hybrid10 (BCL)",

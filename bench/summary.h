@@ -7,11 +7,15 @@
 
 namespace calu::bench {
 
+/// `engine` "" keeps each variant's schedule→engine mapping; any registry
+/// name (e.g. "numa-hierarchical") reruns every row under that executor.
 inline void summary_sweep(const char* fig, int threads,
                           const std::vector<int>& ns,
-                          const char* paper_shape) {
+                          const char* paper_shape,
+                          const std::string& engine = "") {
   print_banner(fig, "impact of data layout and scheduling", paper_shape);
   std::printf("# threads=%d; variant = layout/schedule\n", threads);
+  if (!engine.empty()) std::printf("# engine=%s (all rows)\n", engine.c_str());
   std::printf("%-8s %-26s %-10s %-12s\n", "n", "variant", "Gflop/s",
               "seconds");
   sched::ThreadTeam team(threads, true);
@@ -44,6 +48,7 @@ inline void summary_sweep(const char* fig, int threads,
       opt.layout = v.lay;
       opt.schedule = v.sched;
       opt.dratio = v.dratio;
+      opt.engine = engine;
       Timing t = time_calu(a0, opt, team);
       std::printf("%-8d %-26s %-10.2f %-12.4f\n", n, v.name, t.gflops,
                   t.seconds);

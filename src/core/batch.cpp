@@ -110,8 +110,9 @@ BatchRunResult run_fused(std::vector<BatchJob>& jobs,
       src = &lu[i];
     }
     const Options& o = job.options;
-    packed.push_back(layout::PackedMatrix::pack(*src, o.layout, o.b,
-                                                o.resolved_grid()));
+    packed.push_back(
+        layout::PackedMatrix::pack(*src, o.layout, o.b, o.resolved_grid(),
+                                   owner_runner_from(o, session.team())));
     prepared.emplace_back(packed.back(), o);
   }
 

@@ -217,6 +217,12 @@ typename Runtime<T>::StepArena& Runtime<T>::ensure_arena(int k) {
     ar.u_stride = pad8(blas::packed_b_size<T>(kk, tl.b));
     const std::size_t ltiles = tl.mb() - k - 1;
     const std::size_t utiles = tl.nb() - k - 1;
+    // NUMA first touch falls out of the allocation discipline here:
+    // AlignedBufferT::reserve only calls operator new (no memset), so the
+    // arena's pages are not faulted by whichever thread won the
+    // call_once race — each slot's pages land on the node of the pL/pU
+    // task that first *writes* it, i.e. the owner of that tile's panel
+    // column.  Do not "optimize" this into a zero-fill.
     ar.buf.reserve(ltiles * ar.l_stride + utiles * ar.u_stride);
     ar.lslots = ar.buf.data();
     ar.uslots = ar.buf.data() + ltiles * ar.l_stride;
@@ -368,6 +374,19 @@ sched::SessionOptions session_options_from(const Options& opt) {
   return sched::SessionOptions{opt.resolved_threads(), opt.pin_threads};
 }
 
+layout::OwnerRunner owner_runner_from(const Options& opt,
+                                      sched::ThreadTeam& team) {
+  if (!opt.first_touch || team.size() <= 1) return {};
+  return [&team](int nowners, const std::function<void(int)>& fill) {
+    team.run([&](int tid) {
+      // owner % p is how every engine maps Task::owner onto a thread, so
+      // the pages a thread faults in here belong to the tasks it will
+      // pop from its own queue later.
+      for (int g = tid; g < nowners; g += team.size()) fill(g);
+    });
+  };
+}
+
 sched::RunHooks run_hooks_from(const Options& opt, int team_size,
                                std::unique_ptr<noise::Injector>& injector) {
   sched::RunHooks hooks;
@@ -494,8 +513,9 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
 
 Factorization getrf(layout::Matrix& a, const Options& opt,
                     sched::Session& session) {
-  layout::PackedMatrix p = layout::PackedMatrix::pack(
-      a, opt.layout, opt.b, opt.resolved_grid());
+  layout::PackedMatrix p =
+      layout::PackedMatrix::pack(a, opt.layout, opt.b, opt.resolved_grid(),
+                                 owner_runner_from(opt, session.team()));
   Factorization f = getrf(p, opt, session);
   p.unpack(a);
   return f;

@@ -61,6 +61,13 @@ struct Options {
   /// operands.  Results are bit-identical either way.
   bool pack_panels = true;
   bool pin_threads = true;
+  /// Ownership-ordered first-touch packing: each grid owner's block-
+  /// cyclic buffer is allocated and filled by the team thread that will
+  /// run its P/pL/pU tasks (owner % threads), so under a first-touch
+  /// NUMA policy the panel pages land on that thread's node.  Packed
+  /// bits are identical either way; off restores the serial caller-
+  /// thread pack (useful as the "remote pages" baseline in benches).
+  bool first_touch = true;
   /// Section-9 extension: locality-tagged dynamic queues (per-thread tag
   /// buckets instead of one shared queue; DFS order kept within buckets).
   bool locality_tags = false;
@@ -200,5 +207,13 @@ sched::RunHooks run_hooks_from(const Options& opt, int team_size,
 /// Options → session wiring every one-shot ("ephemeral session, run
 /// once") entry point shares.
 sched::SessionOptions session_options_from(const Options& opt);
+
+/// The ownership-ordered first-touch runner for PackedMatrix::pack —
+/// owner g fills on team thread g % p, mirroring how every engine routes
+/// owned tasks.  Empty (serial pack) when Options::first_touch is off or
+/// the team is a single thread.  The returned runner borrows `team`;
+/// use it before the team is torn down.
+layout::OwnerRunner owner_runner_from(const Options& opt,
+                                      sched::ThreadTeam& team);
 
 }  // namespace calu::core

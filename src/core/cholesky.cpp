@@ -225,8 +225,9 @@ Factorization potrf(layout::PackedMatrix& a, const Options& opt,
 
 Factorization potrf(layout::Matrix& a, const Options& opt,
                     sched::Session& session) {
-  layout::PackedMatrix p = layout::PackedMatrix::pack(
-      a, opt.layout, opt.b, opt.resolved_grid());
+  layout::PackedMatrix p =
+      layout::PackedMatrix::pack(a, opt.layout, opt.b, opt.resolved_grid(),
+                                 owner_runner_from(opt, session.team()));
   Factorization f = potrf(p, opt, session);
   p.unpack(a);
   return f;

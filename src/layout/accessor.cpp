@@ -17,10 +17,10 @@ const char* layout_name(Layout l) {
 
 template <class T>
 PackedMatrixT<T> PackedMatrixT<T>::pack(const Matrix& a, Layout layout, int b,
-                                        Grid grid) {
+                                        Grid grid, const OwnerRunner& place) {
   assert(b >= 1);
-  if (layout == Layout::BlockCyclic) return pack_bcl<T>(a, b, grid);
-  if (layout == Layout::TwoLevelBlock) return pack_2l<T>(a, b, grid);
+  if (layout == Layout::BlockCyclic) return pack_bcl<T>(a, b, grid, place);
+  if (layout == Layout::TwoLevelBlock) return pack_2l<T>(a, b, grid, place);
   PackedMatrixT p;
   p.layout_ = Layout::ColumnMajor;
   p.tiling_ = Tiling{a.rows(), a.cols(), b};

@@ -27,7 +27,8 @@ int owned_cols(const Tiling& t, const Grid& g, int tj) {
 }  // namespace
 
 template <class T>
-PackedMatrixT<T> pack_bcl(const Matrix& a, int b, Grid grid) {
+PackedMatrixT<T> pack_bcl(const Matrix& a, int b, Grid grid,
+                          const OwnerRunner& place) {
   PackedMatrixT<T> p;
   p.layout_ = Layout::BlockCyclic;
   p.tiling_ = Tiling{a.rows(), a.cols(), b};
@@ -36,34 +37,50 @@ PackedMatrixT<T> pack_bcl(const Matrix& a, int b, Grid grid) {
   p.bufs_.resize(grid.size());
   p.local_rows_.resize(grid.size());
   p.local_tile_rows_.resize(grid.size());
+  // Geometry is cheap and serial; only the buffer allocation + fill runs
+  // through `place`, because *that* is what faults the pages in.
   for (int ti = 0; ti < grid.pr; ++ti) {
     const int lrows = owned_rows(t, grid, ti);
     for (int tj = 0; tj < grid.pc; ++tj) {
       const int tid = ti * grid.pc + tj;
       p.local_rows_[tid] = lrows;
       p.local_tile_rows_[tid] = owned_tile_rows(t, grid, ti);
-      p.bufs_[tid].assign(
-          static_cast<std::size_t>(lrows) * owned_cols(t, grid, tj), T(0));
     }
   }
-  // Copy tile by tile.  Owned tiles earlier in a column are always full
-  // (only the last global tile row/col can be partial), so local offsets
-  // are simple multiples of b.
-  for (int J = 0; J < t.nb(); ++J) {
-    for (int I = 0; I < t.mb(); ++I) {
-      BlockRefT<T> dst = p.block(I, J);
-      const double* src =
-          a.data() + t.row0(I) + static_cast<std::size_t>(t.col0(J)) * a.ld();
-      for (int j = 0; j < dst.cols; ++j)
-        for (int i = 0; i < dst.rows; ++i)
-          dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
-              static_cast<T>(src[i + static_cast<std::size_t>(j) * a.ld()]);
+  // Per-owner allocate + copy.  Owned tiles earlier in a column are
+  // always full (only the last global tile row/col can be partial), so
+  // local offsets are simple multiples of b.  Owners touch disjoint
+  // buffers and read disjoint tiles of `a`, so the owner fills are
+  // trivially parallel; the bits written are identical to the serial
+  // order (it is the same tile copies, permuted).
+  auto fill_owner = [&](int tid) {
+    const int ti = tid / grid.pc, tj = tid % grid.pc;
+    p.bufs_[tid].assign(static_cast<std::size_t>(p.local_rows_[tid]) *
+                            owned_cols(t, grid, tj),
+                        T(0));
+    for (int J = tj; J < t.nb(); J += grid.pc) {
+      for (int I = ti; I < t.mb(); I += grid.pr) {
+        BlockRefT<T> dst = p.block(I, J);
+        const double* src = a.data() + t.row0(I) +
+                            static_cast<std::size_t>(t.col0(J)) * a.ld();
+        for (int j = 0; j < dst.cols; ++j)
+          for (int i = 0; i < dst.rows; ++i)
+            dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
+                static_cast<T>(src[i + static_cast<std::size_t>(j) * a.ld()]);
+      }
     }
+  };
+  if (place) {
+    place(grid.size(), fill_owner);
+  } else {
+    for (int tid = 0; tid < grid.size(); ++tid) fill_owner(tid);
   }
   return p;
 }
 
-template PackedMatrixT<double> pack_bcl<double>(const Matrix&, int, Grid);
-template PackedMatrixT<float> pack_bcl<float>(const Matrix&, int, Grid);
+template PackedMatrixT<double> pack_bcl<double>(const Matrix&, int, Grid,
+                                                const OwnerRunner&);
+template PackedMatrixT<float> pack_bcl<float>(const Matrix&, int, Grid,
+                                              const OwnerRunner&);
 
 }  // namespace calu::layout

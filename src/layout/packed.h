@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "src/layout/grid.h"
@@ -65,10 +66,24 @@ using BlockRef = BlockRefT<double>;
 template <class T>
 class PackedMatrixT;
 
+/// Runs `fill(owner)` once for every grid owner id in [0, nowners), on
+/// the thread that will serve that owner's tasks.  Supplied by the
+/// scheduling layer (layout stays below sched in the dependency order):
+/// the CALU drivers map owner g onto team thread g % p, matching how
+/// every engine routes owned tasks.  Because each owner's buffer is
+/// allocated *and written* inside `fill`, a NUMA first-touch policy
+/// places the owner's pages on the node of the thread that will factor
+/// them.  An empty runner means "fill on the calling thread" (the
+/// classic serial pack).
+using OwnerRunner =
+    std::function<void(int nowners, const std::function<void(int owner)>&)>;
+
 template <class T>
-PackedMatrixT<T> pack_bcl(const Matrix& a, int b, Grid grid);
+PackedMatrixT<T> pack_bcl(const Matrix& a, int b, Grid grid,
+                          const OwnerRunner& place = {});
 template <class T>
-PackedMatrixT<T> pack_2l(const Matrix& a, int b, Grid grid);
+PackedMatrixT<T> pack_2l(const Matrix& a, int b, Grid grid,
+                         const OwnerRunner& place = {});
 
 /// A dense matrix packed into one of the three layouts.  Thread-safe for
 /// concurrent access to distinct tiles (tiles never alias).
@@ -79,8 +94,15 @@ class PackedMatrixT {
 
   /// Pack a column-major matrix.  `b` is the tile size, `grid` the thread
   /// grid used for the cyclic distribution (ignored for ColumnMajor).
-  /// For T = float this converts while packing (one pass).
-  static PackedMatrixT pack(const Matrix& a, Layout layout, int b, Grid grid);
+  /// For T = float this converts while packing (one pass).  `place`
+  /// (optional) is the ownership-ordered first-touch runner: each grid
+  /// owner's buffer is allocated and filled via place(nowners, fill) so
+  /// its pages fault in on the owning thread (see OwnerRunner).  The
+  /// packed bits are identical either way — only page placement (and
+  /// the fill parallelism) changes.  ColumnMajor has one shared buffer
+  /// and ignores `place`.
+  static PackedMatrixT pack(const Matrix& a, Layout layout, int b, Grid grid,
+                            const OwnerRunner& place = {});
 
   /// Write the packed contents back into a column-major matrix (must have
   /// matching dimensions).  Converting for T = float.
@@ -154,8 +176,10 @@ class PackedMatrixT {
 
   template <class U>
   friend class PackedMatrixT;
-  friend PackedMatrixT pack_bcl<T>(const Matrix&, int, Grid);
-  friend PackedMatrixT pack_2l<T>(const Matrix&, int, Grid);
+  friend PackedMatrixT pack_bcl<T>(const Matrix&, int, Grid,
+                                   const OwnerRunner&);
+  friend PackedMatrixT pack_2l<T>(const Matrix&, int, Grid,
+                                  const OwnerRunner&);
 };
 
 using PackedMatrix = PackedMatrixT<double>;

@@ -9,7 +9,8 @@
 namespace calu::layout {
 
 template <class T>
-PackedMatrixT<T> pack_2l(const Matrix& a, int b, Grid grid) {
+PackedMatrixT<T> pack_2l(const Matrix& a, int b, Grid grid,
+                         const OwnerRunner& place) {
   PackedMatrixT<T> p;
   p.layout_ = Layout::TwoLevelBlock;
   p.tiling_ = Tiling{a.rows(), a.cols(), b};
@@ -21,28 +22,40 @@ PackedMatrixT<T> pack_2l(const Matrix& a, int b, Grid grid) {
   p.local_tile_rows_.resize(grid.size());
   for (int ti = 0; ti < grid.pr; ++ti) {
     const int ltr = ti < mb ? (mb - ti + grid.pr - 1) / grid.pr : 0;
-    for (int tj = 0; tj < grid.pc; ++tj) {
-      const int tid = ti * grid.pc + tj;
-      const int ltc = tj < nb ? (nb - tj + grid.pc - 1) / grid.pc : 0;
-      p.local_tile_rows_[tid] = ltr;
-      p.bufs_[tid].assign(static_cast<std::size_t>(ltr) * ltc * b * b, T(0));
-    }
+    for (int tj = 0; tj < grid.pc; ++tj)
+      p.local_tile_rows_[ti * grid.pc + tj] = ltr;
   }
-  for (int J = 0; J < nb; ++J) {
-    for (int I = 0; I < mb; ++I) {
-      BlockRefT<T> dst = p.block(I, J);
-      const double* src =
-          a.data() + t.row0(I) + static_cast<std::size_t>(t.col0(J)) * a.ld();
-      for (int j = 0; j < dst.cols; ++j)
-        for (int i = 0; i < dst.rows; ++i)
-          dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
-              static_cast<T>(src[i + static_cast<std::size_t>(j) * a.ld()]);
+  // Per-owner allocate + tile copies, optionally placed on the owning
+  // thread for NUMA first touch (see pack_bcl for the reasoning; the
+  // tile sets are disjoint and the written bits order-independent).
+  auto fill_owner = [&](int tid) {
+    const int ti = tid / grid.pc, tj = tid % grid.pc;
+    const int ltr = p.local_tile_rows_[tid];
+    const int ltc = tj < nb ? (nb - tj + grid.pc - 1) / grid.pc : 0;
+    p.bufs_[tid].assign(static_cast<std::size_t>(ltr) * ltc * b * b, T(0));
+    for (int J = tj; J < nb; J += grid.pc) {
+      for (int I = ti; I < mb; I += grid.pr) {
+        BlockRefT<T> dst = p.block(I, J);
+        const double* src = a.data() + t.row0(I) +
+                            static_cast<std::size_t>(t.col0(J)) * a.ld();
+        for (int j = 0; j < dst.cols; ++j)
+          for (int i = 0; i < dst.rows; ++i)
+            dst.ptr[i + static_cast<std::size_t>(j) * dst.ld] =
+                static_cast<T>(src[i + static_cast<std::size_t>(j) * a.ld()]);
+      }
     }
+  };
+  if (place) {
+    place(grid.size(), fill_owner);
+  } else {
+    for (int tid = 0; tid < grid.size(); ++tid) fill_owner(tid);
   }
   return p;
 }
 
-template PackedMatrixT<double> pack_2l<double>(const Matrix&, int, Grid);
-template PackedMatrixT<float> pack_2l<float>(const Matrix&, int, Grid);
+template PackedMatrixT<double> pack_2l<double>(const Matrix&, int, Grid,
+                                               const OwnerRunner&);
+template PackedMatrixT<float> pack_2l<float>(const Matrix&, int, Grid,
+                                             const OwnerRunner&);
 
 }  // namespace calu::layout

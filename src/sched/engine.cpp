@@ -16,6 +16,9 @@ EngineStats& EngineStats::merge(const EngineStats& other) {
   steals += other.steals;
   steal_attempts += other.steal_attempts;
   promotions += other.promotions;
+  for (int c = 0; c < kStealClassCount; ++c)
+    steals_by_class[c] += other.steals_by_class[c];
+  pinned_threads = std::max(pinned_threads, other.pinned_threads);
   elapsed = std::max(elapsed, other.elapsed);
   return *this;
 }
@@ -32,7 +35,26 @@ std::string EngineStats::report() const {
                 static_cast<unsigned long long>(steals),
                 static_cast<unsigned long long>(steal_attempts),
                 static_cast<unsigned long long>(promotions), elapsed);
-  return buf;
+  std::string out = buf;
+  std::uint64_t classified = 0;
+  for (std::uint64_t n : steals_by_class) classified += n;
+  if (classified > 0) {
+    // Steal-distance histogram, nearest class first — only for engines
+    // that classify (others would print all-zero noise).
+    out += " dist[";
+    for (int c = 0; c < kStealClassCount; ++c) {
+      std::snprintf(buf, sizeof(buf), "%s%s=%llu", c ? " " : "",
+                    steal_class_name(static_cast<StealClass>(c)),
+                    static_cast<unsigned long long>(steals_by_class[c]));
+      out += buf;
+    }
+    out += "]";
+  }
+  if (pinned_threads >= 0) {
+    std::snprintf(buf, sizeof(buf), " pinned=%d", pinned_threads);
+    out += buf;
+  }
+  return out;
 }
 
 EngineStats run_owner_queues(ThreadTeam& team, const TaskGraph& graph,

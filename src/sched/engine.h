@@ -41,9 +41,15 @@
 #include "src/noise/noise.h"
 #include "src/sched/dag.h"
 #include "src/sched/thread_team.h"
+#include "src/sched/topology.h"
 #include "src/trace/trace.h"
 
 namespace calu::sched {
+
+// The trace layer mirrors the steal-distance class count so it can stay
+// independent of sched headers; keep the two in lock step.
+static_assert(kStealClassCount == trace::kStealClassCount,
+              "sched::StealClass and trace steal_class disagree");
 
 /// The work function: execute task `id` on thread `tid`.
 using ExecFn = std::function<void(int id, int tid)>;
@@ -83,6 +89,16 @@ struct EngineStats {
   /// Panel-column tasks promoted past the local queues into the shared
   /// urgent queue ("priority-lookahead" only; 0 elsewhere).
   std::uint64_t promotions = 0;
+  /// Successful steals bucketed by the topology distance between thief
+  /// and victim (indexed by StealClass; see topology.h).  Filled by the
+  /// "numa-hierarchical" engine — sums to `steals` there; all-zero for
+  /// engines that do not classify their steals.
+  std::uint64_t steals_by_class[kStealClassCount] = {};
+  /// Team threads whose topology-derived pinning was verified effective
+  /// at run time (ThreadTeam::pinned_count), or -1 when the engine did
+  /// not report placement.  merge() keeps the max, so session totals
+  /// reflect the best-pinned run.
+  int pinned_threads = -1;
   double elapsed = 0.0;  // seconds inside the engine (max over merges)
 
   /// Accumulates counters; `elapsed` takes the max (merging reps or
@@ -101,6 +117,7 @@ struct alignas(64) PerThreadStats {
   std::uint64_t steals = 0;
   std::uint64_t steal_attempts = 0;
   std::uint64_t promotions = 0;
+  std::uint64_t steals_by_class[kStealClassCount] = {};
 
   EngineStats to_stats() const {
     EngineStats st;
@@ -109,6 +126,8 @@ struct alignas(64) PerThreadStats {
     st.steals = steals;
     st.steal_attempts = steal_attempts;
     st.promotions = promotions;
+    for (int c = 0; c < kStealClassCount; ++c)
+      st.steals_by_class[c] = steals_by_class[c];
     return st;
   }
 };

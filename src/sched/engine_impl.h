@@ -31,10 +31,11 @@ class RunContext {
   /// Runs task `id` with noise/trace hooks applied, decrements successor
   /// dependency counts, and hands newly ready tasks to `enqueue(succ_id)`.
   /// `promoted` marks a task served from a look-ahead urgent queue so the
-  /// timeline can show promotion events.
+  /// timeline can show promotion events; `steal_class` is the
+  /// StealClass distance the task travelled when stolen (-1 otherwise).
   template <class EnqueueFn>
   void run_task(int id, int tid, bool dynamic, const EnqueueFn& enqueue,
-                bool promoted = false) {
+                bool promoted = false, int steal_class = -1) {
     if (hooks_.injector) hooks_.injector->maybe_inject(tid);
     trace::Recorder* rec = hooks_.recorder;
     trace::Event ev;
@@ -46,6 +47,7 @@ class RunContext {
       ev.j = t.j;
       ev.dynamic = dynamic;
       ev.promoted = promoted;
+      ev.steal_class = static_cast<std::int8_t>(steal_class);
       ev.t0 = rec->now();
     }
     exec_(id, tid);
@@ -75,12 +77,17 @@ inline double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-/// Merges padded per-thread slots into one EngineStats and stamps elapsed.
+/// Merges padded per-thread slots into one EngineStats and stamps
+/// elapsed; pass the team to also report its effective pinning
+/// (ThreadTeam::pinned_count) so benches can tell a pinned run from one
+/// where a cpuset silently defeated placement.
 inline EngineStats merge_thread_stats(const std::vector<PerThreadStats>& per,
-                                      double elapsed) {
+                                      double elapsed,
+                                      const ThreadTeam* team = nullptr) {
   EngineStats st;
   for (const PerThreadStats& s : per) st.merge(s.to_stats());
   st.elapsed = elapsed;
+  if (team) st.pinned_threads = team->pinned_count();
   return st;
 }
 

@@ -1,0 +1,199 @@
+// engine_numa.cpp — topology-aware work stealing, registered as
+// "numa-hierarchical".
+//
+// Same execution substrate as "work-stealing" (per-thread lock-free
+// Chase-Lev deques, owner pops LIFO, thieves steal FIFO), but victim
+// selection is distance-aware instead of uniform-random: each thread
+// sorts the other team members into steal-distance classes from the
+// machine topology (SMT sibling, shared L2, shared L3, same package,
+// cross package — see topology.h) and an idle thread raids the nearest
+// class first, only crossing an L3 boundary (and last of all a package
+// boundary) when everything closer is empty.  Within a class the start
+// position rotates pseudo-randomly so thieves do not convoy on one
+// victim.  This is the Beaumont/Marchal observation — on non-uniform
+// machines *where* you steal from dominates dynamic-scheduling cost —
+// grafted onto the paper's work-stealing baseline, and it pairs with the
+// first-touch block-cyclic placement: a steal that stays inside the L3
+// group keeps operating on pages the group faulted in.
+//
+// Every successful steal is bucketed by class into
+// EngineStats::steals_by_class and stamped on the trace event, so the
+// cross-class fraction is directly comparable against "work-stealing".
+// Roots are seeded owner-first (owner % p, like the hybrid engine) so
+// the static distribution starts aligned with data placement; unowned
+// roots round-robin.
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/sched/chase_lev_deque.h"
+#include "src/sched/engine.h"
+#include "src/sched/engine_impl.h"
+#include "src/sched/topology.h"
+
+namespace calu::sched {
+namespace {
+
+/// Victims at one steal distance, nearest groups first in the per-thread
+/// list.  Groups are built once per run from the team's effective
+/// pinning; unpinned threads collapse into one kUnknown group, which
+/// degrades the policy to rotating round-robin — never worse than the
+/// uniform baseline.
+struct VictimGroup {
+  StealClass cls = StealClass::kUnknown;
+  std::vector<int> victims;
+};
+
+std::vector<std::vector<VictimGroup>> build_victim_groups(
+    const ThreadTeam& team, const Topology& topo) {
+  const int p = team.size();
+  std::vector<std::vector<VictimGroup>> groups(p);
+  for (int t = 0; t < p; ++t) {
+    // Bucket the other threads by distance class from t...
+    std::vector<std::vector<int>> bucket(kStealClassCount);
+    for (int v = 0; v < p; ++v) {
+      if (v == t) continue;
+      const StealClass c = topo.classify(team.pinned_cpu(t),
+                                         team.pinned_cpu(v));
+      bucket[static_cast<int>(c)].push_back(v);
+    }
+    // ...then order the non-empty buckets by steal cost (measured
+    // latency when the probe ran, class rank otherwise).
+    std::vector<int> order;
+    for (int c = 0; c < kStealClassCount; ++c)
+      if (!bucket[c].empty()) order.push_back(c);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return topo.steal_cost(static_cast<StealClass>(a)) <
+             topo.steal_cost(static_cast<StealClass>(b));
+    });
+    for (int c : order) {
+      VictimGroup g;
+      g.cls = static_cast<StealClass>(c);
+      g.victims = std::move(bucket[c]);
+      groups[t].push_back(std::move(g));
+    }
+  }
+  return groups;
+}
+
+class NumaHierarchicalEngine final : public Engine {
+ public:
+  explicit NumaHierarchicalEngine(std::string name)
+      : name_(std::move(name)) {}
+
+  const std::string& name() const override { return name_; }
+
+  EngineStats run(ThreadTeam& team, const TaskGraph& graph,
+                  const ExecFn& exec, const RunHooks& hooks) override {
+    assert(graph.finalized());
+    const int p = team.size();
+    const int n = graph.num_tasks();
+
+    std::vector<std::unique_ptr<ChaseLevDeque>> deques;
+    deques.reserve(p);
+    for (int t = 0; t < p; ++t)
+      deques.push_back(std::make_unique<ChaseLevDeque>());
+
+    detail::RunContext ctx(graph, exec, hooks);
+    // Owner-first root seeding: the thread that first-touched a panel's
+    // pages starts with its tasks; only unowned roots round-robin.
+    {
+      int next = 0;
+      for (int t = 0; t < n; ++t)
+        if (graph.initial_deps(t) == 0) {
+          const int owner = graph.task(t).owner;
+          deques[owner >= 0 ? owner % p : next++ % p]->push_bottom(t);
+        }
+    }
+
+    const std::vector<std::vector<VictimGroup>> victim_groups =
+        build_victim_groups(team, system_topology());
+
+    struct alignas(64) Rng {
+      std::uint64_t state = 0;
+      std::uint64_t next() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1DULL;
+      }
+    };
+    std::vector<Rng> rng(p);
+    for (int t = 0; t < p; ++t)
+      rng[t].state = hooks.ws_seed * 0x9E3779B97F4A7C15ULL + t + 1;
+
+    std::vector<PerThreadStats> per(p);
+    trace::Recorder* rec = hooks.recorder;
+    if (rec) rec->start(p);
+    const auto t0 = std::chrono::steady_clock::now();
+
+    team.run([&](int tid) {
+      PerThreadStats& me = per[tid];
+      ChaseLevDeque& mine = *deques[tid];
+      const std::vector<VictimGroup>& groups = victim_groups[tid];
+      auto enqueue = [&](int id) { mine.push_bottom(id); };
+      int backoff = 0;
+      while (!ctx.done()) {
+        int id = -1;
+        StealClass stolen_from = StealClass::kUnknown;
+        bool stolen = false;
+        if (mine.pop_bottom(id)) {
+          ++me.static_pops;  // owner-local pops (kept under static_pops)
+        } else {
+          // One hierarchy walk: nearest group first, rotating the start
+          // inside each group so concurrent thieves spread out.
+          for (const VictimGroup& g : groups) {
+            const int m = static_cast<int>(g.victims.size());
+            const int start = m > 1
+                                  ? static_cast<int>(rng[tid].next() %
+                                                     static_cast<unsigned>(m))
+                                  : 0;
+            for (int k = 0; k < m; ++k) {
+              ++me.steal_attempts;
+              if (deques[g.victims[(start + k) % m]]->steal_top(id)) {
+                stolen = true;
+                stolen_from = g.cls;
+                break;
+              }
+            }
+            if (stolen) break;
+          }
+          if (!stolen) {
+            if (++backoff > 4) {
+              std::this_thread::yield();
+              backoff = 0;
+            }
+            continue;
+          }
+          ++me.steals;
+          ++me.steals_by_class[static_cast<int>(stolen_from)];
+        }
+        backoff = 0;
+        ctx.run_task(id, tid, stolen, enqueue, /*promoted=*/false,
+                     stolen ? static_cast<int>(stolen_from) : -1);
+      }
+    });
+
+    if (rec) rec->stop();
+    return detail::merge_thread_stats(per, detail::seconds_since(t0), &team);
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Engine> make_numa_engine(std::string name) {
+  return std::make_unique<NumaHierarchicalEngine>(std::move(name));
+}
+
+}  // namespace detail
+}  // namespace calu::sched

@@ -17,6 +17,7 @@ std::unique_ptr<Engine> make_hybrid_engine(std::string name,
                                            bool locality_tags);
 std::unique_ptr<Engine> make_work_stealing_engine(std::string name);
 std::unique_ptr<Engine> make_priority_engine(std::string name);
+std::unique_ptr<Engine> make_numa_engine(std::string name);
 }  // namespace detail
 
 namespace {
@@ -39,6 +40,9 @@ struct Registry {
     });
     factories.emplace("priority-lookahead", [] {
       return detail::make_priority_engine("priority-lookahead");
+    });
+    factories.emplace("numa-hierarchical", [] {
+      return detail::make_numa_engine("numa-hierarchical");
     });
   }
 };

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/sched/topology.h"
+
 #ifdef __linux__
 #include <pthread.h>
 #include <sched.h>
@@ -13,14 +15,22 @@ namespace {
 std::atomic<std::uint64_t> g_teams_constructed{0};
 std::atomic<std::uint64_t> g_workers_spawned{0};
 
-void pin_to_core(int core) {
+/// Pins `handle` to the single cpu `cpu`; returns whether the kernel
+/// accepted it.  The caller picks cpus from the affinity mask (via
+/// Topology::pin_order), which is what makes this correct under
+/// restricted cpusets: the old code pinned to absolute ids
+/// 0..hardware_concurrency-1, which under a container mask like {5,7}
+/// either fails (EINVAL) or lands every thread on the wrong cpu.
+bool pin_thread(std::thread::native_handle_type handle, int cpu) {
 #ifdef __linux__
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(core % static_cast<int>(std::thread::hardware_concurrency()), &set);
-  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
 #else
-  (void)core;
+  (void)handle;
+  (void)cpu;
+  return false;
 #endif
 }
 
@@ -39,15 +49,44 @@ std::uint64_t ThreadTeam::workers_spawned() {
   return g_workers_spawned.load(std::memory_order_relaxed);
 }
 
-ThreadTeam::ThreadTeam(int nthreads, bool pin) : nthreads_(nthreads) {
+int ThreadTeam::pinned_count() const {
+  int n = 0;
+  for (int cpu : pinned_cpus_)
+    if (cpu >= 0) ++n;
+  return n;
+}
+
+ThreadTeam::ThreadTeam(int nthreads, bool pin)
+    : nthreads_(nthreads), pinned_cpus_(nthreads, -1) {
   assert(nthreads >= 1);
   g_teams_constructed.fetch_add(1, std::memory_order_relaxed);
   g_workers_spawned.fetch_add(static_cast<std::uint64_t>(nthreads_ - 1),
                               std::memory_order_relaxed);
-  if (pin) pin_to_core(0);
   workers_.reserve(nthreads_ - 1);
   for (int t = 1; t < nthreads_; ++t)
-    workers_.emplace_back([this, t, pin] { worker_loop(t, pin); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
+#ifdef __linux__
+  if (pin) {
+    // Topology pin order over the allowed cpus: one thread per physical
+    // core first, SMT siblings only once the cores are exhausted, wrap
+    // when oversubscribed.  All pinning happens here on the constructing
+    // thread (workers via native_handle), so pinned_cpus_ is complete —
+    // and data-race-free for readers — the moment the constructor
+    // returns.
+    const std::vector<int> order = system_topology().pin_order();
+    if (!order.empty()) {
+      const int m = static_cast<int>(order.size());
+      for (int t = 0; t < nthreads_; ++t) {
+        const int cpu = order[t % m];
+        const auto handle =
+            t == 0 ? pthread_self() : workers_[t - 1].native_handle();
+        if (pin_thread(handle, cpu)) pinned_cpus_[t] = cpu;
+      }
+    }
+  }
+#else
+  (void)pin;
+#endif
 }
 
 ThreadTeam::~ThreadTeam() {
@@ -59,8 +98,7 @@ ThreadTeam::~ThreadTeam() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadTeam::worker_loop(int tid, bool pin) {
-  if (pin) pin_to_core(tid);
+void ThreadTeam::worker_loop(int tid) {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;

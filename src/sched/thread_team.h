@@ -2,8 +2,11 @@
 //
 // One team is created per factorization call (or reused across calls by the
 // benchmarks); workers park on a condition variable between parallel
-// regions.  Threads are pinned round-robin to cores, matching the paper's
-// fixed-thread-count experiments on the Xeon/Opteron machines.
+// regions.  Threads are pinned to the cpus the process may actually run
+// on (the sched_getaffinity mask), walked in topology pin order
+// (physical cores first, then SMT siblings — see Topology::pin_order),
+// matching the paper's fixed-thread-count experiments on the
+// Xeon/Opteron machines while staying correct under cpusets/containers.
 #pragma once
 
 #include <atomic>
@@ -34,6 +37,14 @@ class ThreadTeam {
   /// Static-chunked parallel for over [0, n).
   void parallel_for(int n, const std::function<void(int)>& fn);
 
+  /// The cpu id thread `tid` was successfully pinned to, or -1 when the
+  /// team is unpinned or the affinity call failed for that thread.
+  /// Written once during construction; safe to read concurrently after.
+  int pinned_cpu(int tid) const { return pinned_cpus_[tid]; }
+
+  /// How many of the team's threads have verified pinning.
+  int pinned_count() const;
+
   static int hardware_threads();
 
   /// Process-wide count of ThreadTeam constructions.  Lets the session /
@@ -46,9 +57,10 @@ class ThreadTeam {
   static std::uint64_t workers_spawned();
 
  private:
-  void worker_loop(int tid, bool pin);
+  void worker_loop(int tid);
 
   int nthreads_;
+  std::vector<int> pinned_cpus_;  // per tid; -1 = not pinned
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_start_;

@@ -726,8 +726,11 @@ TEST(EngineRegistry, NamesAreSortedAndStable) {
 }
 
 TEST(EngineRegistry, DuplicateRegistrationRejected) {
-  std::atomic<int> first_built{0};
-  ASSERT_TRUE(sched::register_engine("dup-probe", [&first_built] {
+  // The registry keeps the factory for the process lifetime and later
+  // tests enumerate every registered name, so the counter must outlive
+  // this TestBody — a by-reference capture of a stack local dangles.
+  static std::atomic<int> first_built{0};
+  ASSERT_TRUE(sched::register_engine("dup-probe", [] {
     first_built.fetch_add(1);
     return sched::make_engine("hybrid");
   }));
