@@ -36,6 +36,7 @@
 #include "src/core/solve.h"
 #include "src/sched/engine_registry.h"
 #include "src/sched/topology.h"
+#include "src/util/percentile.h"
 
 namespace {
 
@@ -93,12 +94,8 @@ int threads_flag(int argc, char** argv) {
   return 0;
 }
 
-double percentile_ms(std::vector<double>& sorted_s, double p) {
-  if (sorted_s.empty()) return 0.0;
-  const std::size_t idx = std::min(
-      sorted_s.size() - 1,
-      static_cast<std::size_t>(p / 100.0 * static_cast<double>(sorted_s.size())));
-  return sorted_s[idx] * 1e3;
+double percentile_ms(const std::vector<double>& sorted_s, double p) {
+  return util::percentile(sorted_s, p) * 1e3;
 }
 
 Result run_config(const Config& cfg, const core::Options& opt, int reps) {

@@ -13,10 +13,18 @@ section is the failure mode this guards against, since downstream
 trajectory tooling would read the missing field as "bench stopped
 measuring this" without any error.
 
-Exit status: 0 on shape match (extra keys allowed), 1 on missing keys or
-unparseable input.
+Beyond key presence, the fresh file's latency percentiles are sanity
+checked: wherever a dict carries a p50/p95/p99 key triple sharing a stem
+(lat_p50_ms / lat_p95_ms / lat_p99_ms, dispatch_p50_us / ...), the values
+must be non-decreasing — a broken percentile helper (the floor-vs-
+nearest-rank class of bug) or a shuffled emission fails here instead of
+committing a self-contradictory trajectory point.
+
+Exit status: 0 on shape match (extra keys allowed), 1 on missing keys,
+non-monotone percentile triples, or unparseable input.
 """
 import json
+import re
 import sys
 
 
@@ -30,6 +38,30 @@ def key_paths(obj, prefix=""):
     elif isinstance(obj, list):
         for v in obj:
             out |= key_paths(v, prefix + "[]")
+    return out
+
+
+def percentile_violations(obj, prefix=""):
+    """Yields (path, message) for every p50/p95/p99 triple out of order."""
+    out = []
+    if isinstance(obj, dict):
+        stems = {}
+        for k, v in obj.items():
+            m = re.fullmatch(r"(.*)p(50|95|99)(.*)", k)
+            if m and isinstance(v, (int, float)):
+                stems.setdefault((m.group(1), m.group(3)), {})[m.group(2)] = v
+        for (pre, suf), vals in stems.items():
+            if {"50", "95", "99"} <= set(vals):
+                if not vals["50"] <= vals["95"] <= vals["99"]:
+                    path = f"{prefix}.{pre}p*{suf}" if prefix else f"{pre}p*{suf}"
+                    out.append((path,
+                                f"p50={vals['50']} p95={vals['95']} "
+                                f"p99={vals['99']} not non-decreasing"))
+        for k, v in obj.items():
+            out += percentile_violations(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(obj, list):
+        for v in obj:
+            out += percentile_violations(v, prefix + "[]")
     return out
 
 
@@ -55,6 +87,13 @@ def main():
               f"{baseline_path}:", file=sys.stderr)
         for k in missing:
             print(f"  {k}", file=sys.stderr)
+        return 1
+    violations = percentile_violations(fresh)
+    if violations:
+        print(f"shape check FAILED: {fresh_path} has non-monotone "
+              f"percentile triples:", file=sys.stderr)
+        for path, msg in violations:
+            print(f"  {path}: {msg}", file=sys.stderr)
         return 1
     for k in sorted(fresh_keys - base_keys):
         print(f"shape check: new key (ok): {k}")

@@ -2,16 +2,18 @@
 # run_bench.sh — build the bench targets and emit the perf-trajectory
 # artifacts.
 #
-#   bench/run_bench.sh [kernels.json] [batch.json]
+#   bench/run_bench.sh [kernels.json] [batch.json] [service.json]
 #
 # Writes BENCH_kernels.json (single-thread GFLOP/s of gemm, trsm, and the
 # blocked panel factorization at BOTH precisions, plus GB/s of the fused
 # row swaps, at the paper's tile sizes for every dispatched micro-kernel
 # variant, and the gesv_mixed speed-vs-accuracy sweep as a top-level
-# "mixed_precision" section) and BENCH_batch.json (batched
+# "mixed_precision" section), BENCH_batch.json (batched
 # factorize+solve jobs/s with session reuse on/off — the solver-service
-# amortization) at the repo root.  Later PRs compare their numbers
-# against the committed trajectory of these files.
+# amortization), and BENCH_service.json (async sched::Service: per-class
+# latency percentiles under open-loop Poisson load, idle CPU, and
+# cold-dispatch latency) at the repo root.  Later PRs compare their
+# numbers against the committed trajectory of these files.
 #
 # After emitting, each artifact's key SHAPE is diffed against the
 # committed baseline (bench/check_json_shape.py): a bench refactor that
@@ -31,10 +33,11 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${BUILD_DIR:-$repo/build}"
 out="${1:-$repo/BENCH_kernels.json}"
 batch_out="${2:-$repo/BENCH_batch.json}"
+service_out="${3:-$repo/BENCH_service.json}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release -DCALU_BUILD_BENCH=ON
 cmake --build "$build" -j"$(nproc)" --target kernels_microbench \
-  batch_throughput mixed_precision
+  batch_throughput mixed_precision service_throughput
 
 "$build/kernels_microbench" --json="$out"
 
@@ -59,6 +62,9 @@ EOF
 CALU_BENCH_REPS="${CALU_BENCH_REPS:-3}" "$build/batch_throughput" \
   --threads="${BATCH_THREADS:-4}" --json="$batch_out"
 
+CALU_BENCH_REPS="${CALU_BENCH_REPS:-3}" "$build/service_throughput" \
+  --threads="${BATCH_THREADS:-4}" --json="$service_out"
+
 # Shape check against the committed baselines (key presence per section).
 # Skipped for artifacts that are not in git yet (first emission).
 check_shape() {
@@ -74,3 +80,4 @@ check_shape() {
 }
 check_shape "$out" "$out"
 check_shape "$batch_out" "$batch_out"
+check_shape "$service_out" "$service_out"

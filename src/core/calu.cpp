@@ -346,6 +346,14 @@ const char* precision_name(Precision p) {
   return "?";
 }
 
+const char* priority_class_name(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::Interactive: return "interactive";
+    case PriorityClass::Batch: return "batch";
+  }
+  return "?";
+}
+
 int Options::resolved_threads() const {
   return threads > 0 ? threads : sched::ThreadTeam::hardware_threads();
 }
@@ -433,6 +441,13 @@ GetrfJob::GetrfJob(layout::PackedMatrix& a, const Options& opt) {
   assert(a.tiling().b == opt.b);
   const auto t0 = std::chrono::steady_clock::now();
   impl_ = std::make_unique<Impl>(a, opt);
+  if (opt.priority_class == PriorityClass::Batch) {
+    // Batch-class jobs cede the priority-lookahead urgent queue: the flag
+    // rides through TaskGraph::append verbatim, so a fused run keeps the
+    // promotion fast lane exclusive to its Interactive jobs.
+    sched::TaskGraph& g = impl_->plan.graph;
+    for (int t = 0; t < g.num_tasks(); ++t) g.task(t).promotable = false;
+  }
   impl_->plan_seconds = seconds_since(t0);
   impl_->flops = model::lu_flops(a.tiling().m, a.tiling().n);
 }

@@ -47,6 +47,15 @@ enum class Precision : std::uint8_t { Double, Float32 };
 
 const char* precision_name(Precision p);
 
+/// Scheduling class for a request inside a fused engine run.  Interactive
+/// jobs keep the priority-lookahead engine's urgent-queue promotion for
+/// their panel-column tasks; Batch jobs run without promotion, yielding
+/// the critical-path fast lane to the interactive traffic sharing the
+/// run.  Engines other than priority-lookahead treat both classes alike.
+enum class PriorityClass : std::uint8_t { Interactive, Batch };
+
+const char* priority_class_name(PriorityClass c);
+
 struct Options {
   int b = 100;                // tile size (the paper uses b = 100)
   double dratio = 0.10;       // fraction of panels scheduled dynamically
@@ -91,6 +100,9 @@ struct Options {
   /// Factorization element type.  Per-job Options carry it through the
   /// batch layer, so a fused engine run can mix double and float32 jobs.
   Precision precision = Precision::Double;
+  /// Urgent-queue eligibility under the priority-lookahead engine; the
+  /// async sched::Service maps its two request classes onto this.
+  PriorityClass priority_class = PriorityClass::Interactive;
 
   int resolved_threads() const;
   layout::Grid resolved_grid() const;

@@ -31,6 +31,11 @@ struct Task {
   // cache most likely holds this task's tiles, independent of whether the
   // task is statically owned.  Used by the locality-aware dynamic policy.
   std::int32_t tag = -1;
+  // Whether the priority-lookahead engine may promote this task onto its
+  // shared urgent queue.  Cleared job-wide for Batch-class requests so a
+  // fused run's urgent capacity is reserved for Interactive jobs (the
+  // Service's two priority classes); every other engine ignores it.
+  bool promotable = true;
 };
 
 class TaskGraph {

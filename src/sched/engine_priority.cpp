@@ -43,8 +43,10 @@ namespace {
 
 /// True for tasks on a panel column (the factorization's critical path):
 /// panel preprocessing (P), the panel's L tiles, and the pL operand
-/// packs.  Generic tasks (step < 0) and off-panel tasks never promote.
+/// packs.  Generic tasks (step < 0), off-panel tasks, and tasks whose job
+/// opted out of promotion (Batch priority class) never promote.
 bool panel_column_task(const Task& t) {
+  if (!t.promotable) return false;
   if (t.step < 0) return false;
   if (t.kind == trace::Kind::P) return true;
   if (t.kind != trace::Kind::L && t.kind != trace::Kind::PackL) return false;

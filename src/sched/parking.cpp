@@ -1,0 +1,59 @@
+#include "src/sched/parking.h"
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <climits>
+#else
+#include <condition_variable>
+#include <mutex>
+#endif
+
+namespace calu::sched::detail {
+
+#ifdef __linux__
+
+void futex_wait(const std::atomic<std::uint32_t>* word,
+                std::uint32_t expected) {
+  // The kernel re-checks *word == expected under its own lock, so the
+  // wait and the waker's store/wake pair cannot interleave into a lost
+  // wakeup.  EAGAIN/EINTR just return to the caller's re-check loop.
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+
+void futex_wake(const std::atomic<std::uint32_t>* word, int count) {
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+          FUTEX_WAKE_PRIVATE, count, nullptr, nullptr, 0);
+}
+
+#else
+
+// Portable emulation: one process-wide mutex/condvar pair serves every
+// word.  Broadcast wakeups over-notify under contention but preserve the
+// futex contract exactly (waiters re-check their predicate in a loop);
+// only non-Linux builds pay for it.
+namespace {
+std::mutex g_park_mu;
+std::condition_variable g_park_cv;
+}  // namespace
+
+void futex_wait(const std::atomic<std::uint32_t>* word,
+                std::uint32_t expected) {
+  std::unique_lock lk(g_park_mu);
+  if (word->load(std::memory_order_acquire) != expected) return;
+  g_park_cv.wait(lk);
+}
+
+void futex_wake(const std::atomic<std::uint32_t>* word, int count) {
+  (void)word;
+  (void)count;
+  std::lock_guard lk(g_park_mu);
+  g_park_cv.notify_all();
+}
+
+#endif
+
+}  // namespace calu::sched::detail

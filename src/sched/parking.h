@@ -1,0 +1,37 @@
+// parking.h — minimal futex-style parking used by the low-latency wakeup
+// paths (ThreadTeam's mask-based worker wakeup, Service's dispatcher
+// event count).
+//
+// The contract is the kernel futex contract: `wait(word, expected)`
+// blocks only while `*word == expected`, re-checking atomically inside
+// the kernel, so the classic publish-then-wake sequence
+//
+//   waiter:  v = word.load();  <check state>;  wait(&word, v);
+//   waker:   <publish state>;  word.fetch_add(1);  wake(&word);
+//
+// can never lose a wakeup: either the waiter's kernel re-check sees the
+// bumped word (EAGAIN, no sleep) or the wake call finds it sleeping.
+// All happens-before edges come from the atomic operations on `word`
+// itself — no standalone fences, keeping the TSan stress lane honest
+// (see docs/ENGINES.md).
+//
+// On Linux this is SYS_futex on the 32-bit atomic directly; elsewhere a
+// mutex+condvar emulation with the same semantics (correct, just
+// slower), so callers never need a platform branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace calu::sched::detail {
+
+/// Blocks until `*word != expected` (or a spurious/racing wake).  Returns
+/// immediately when the values already differ.  Callers must re-check
+/// their predicate in a loop.
+void futex_wait(const std::atomic<std::uint32_t>* word,
+                std::uint32_t expected);
+
+/// Wakes at most `count` waiters parked on `word` (INT_MAX = all).
+void futex_wake(const std::atomic<std::uint32_t>* word, int count);
+
+}  // namespace calu::sched::detail

@@ -82,19 +82,28 @@ FusedRunResult Session::run_fused(std::vector<FusedJob>& jobs,
            1;
   };
 
-  // A job contributing zero tasks is complete before the run starts.
-  for (int j = 0; j < njobs; ++j)
-    if (jobs[j].graph->num_tasks() == 0) {
-      order[order_next.fetch_add(1, std::memory_order_relaxed)] = j;
-      if (jobs[j].on_complete) jobs[j].on_complete(j);
-    }
-
   const ExecFn exec = [&](int id, int tid) {
     const int j = job_of(id);
     jobs[j].exec(id - offset[j], tid);
   };
 
-  std::chrono::steady_clock::time_point t0;
+  // The run clock starts before the zero-task scan so that every job —
+  // including empty ones — gets a completed_at stamped from the same t0.
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // A job contributing zero tasks is complete before the run starts: it
+  // retires here, on the calling thread, with completed_at ~0 (the
+  // documented exception to the worker-thread on_complete contract —
+  // there is no last task and hence no retiring worker).
+  for (int j = 0; j < njobs; ++j)
+    if (jobs[j].graph->num_tasks() == 0) {
+      completed_at[j] = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      order[order_next.fetch_add(1, std::memory_order_relaxed)] = j;
+      if (jobs[j].on_complete) jobs[j].on_complete(j);
+    }
+
   RunHooks fused_hooks = hooks;
   const auto caller_retire = hooks.on_retire;
   fused_hooks.on_retire = [&](int id, int tid, bool dynamic) {
@@ -114,7 +123,6 @@ FusedRunResult Session::run_fused(std::vector<FusedJob>& jobs,
     }
   };
 
-  t0 = std::chrono::steady_clock::now();
   res.engine = engine(engine_name).run(*team_, fused, exec, fused_hooks);
   totals_.merge(res.engine);
   ++runs_;

@@ -52,6 +52,10 @@ struct FusedJob {
   /// job's last task, while other jobs may still be executing.  Treat it
   /// as a scheduling-progress signal: touch only this job's data, and
   /// keep it cheap — it runs inside the engine's completion path.
+  /// Exception: a job whose graph has zero tasks has no last task to
+  /// retire, so its callback fires on the run_fused *caller* thread, just
+  /// before the engine run starts (completed_at is stamped ~0 from the
+  /// same run clock as every other job).
   std::function<void(int job)> on_complete;
 };
 

@@ -1,7 +1,10 @@
 #include "src/sched/thread_team.h"
 
+#include <algorithm>
 #include <cassert>
+#include <climits>
 
+#include "src/sched/parking.h"
 #include "src/sched/topology.h"
 
 #ifdef __linux__
@@ -14,6 +17,20 @@ namespace {
 
 std::atomic<std::uint64_t> g_teams_constructed{0};
 std::atomic<std::uint64_t> g_workers_spawned{0};
+
+/// How long a worker (or the joining leader) spins on the epoch word
+/// before advertising itself as parked and futex-sleeping.  Sized so a
+/// back-to-back fused-run stream never pays a syscall, while an idle
+/// service parks everyone within ~10 µs of the last task retiring.
+constexpr int kSpinIters = 4096;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
 
 /// Pins `handle` to the single cpu `cpu`; returns whether the kernel
 /// accepted it.  The caller picks cpus from the affinity mask (via
@@ -37,6 +54,16 @@ bool pin_thread(std::thread::native_handle_type handle, int cpu) {
 }  // namespace
 
 int ThreadTeam::hardware_threads() {
+#ifdef __linux__
+  // Under cpusets/containers the process may run on far fewer cpus than
+  // the machine has; sizing the team from hardware_concurrency() would
+  // stack every worker onto the handful of allowed cpus.
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+#endif
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<int>(n);
 }
@@ -62,6 +89,13 @@ ThreadTeam::ThreadTeam(int nthreads, bool pin)
   g_teams_constructed.fetch_add(1, std::memory_order_relaxed);
   g_workers_spawned.fetch_add(static_cast<std::uint64_t>(nthreads_ - 1),
                               std::memory_order_relaxed);
+  mask_words_ = (nthreads_ - 1 + kMaskBits - 1) / kMaskBits;
+  if (mask_words_ > 0) {
+    parked_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(std::size_t(mask_words_));
+    for (int w = 0; w < mask_words_; ++w)
+      parked_[w].store(0, std::memory_order_relaxed);
+  }
   workers_.reserve(nthreads_ - 1);
   for (int t = 1; t < nthreads_; ++t)
     workers_.emplace_back([this, t] { worker_loop(t); });
@@ -90,29 +124,61 @@ ThreadTeam::ThreadTeam(int nthreads, bool pin)
 }
 
 ThreadTeam::~ThreadTeam() {
-  {
-    std::lock_guard lk(mu_);
-    stop_ = true;
+  if (!workers_.empty()) {
+    stop_.store(true, std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    detail::futex_wake(&epoch_, INT_MAX);
+    for (auto& w : workers_) w.join();
   }
-  cv_start_.notify_all();
-  for (auto& w : workers_) w.join();
+}
+
+void ThreadTeam::wake_workers() {
+  // The rapid-start gate: the epoch bump is already published, so a
+  // spinning worker needs nothing from us.  Only pay the futex syscall
+  // when the parked mask says somebody actually went to sleep.  Both the
+  // workers' mask set + epoch re-check and our epoch bump + mask read are
+  // seq_cst, so at least one side always sees the other: either the
+  // worker observes the new epoch and never sleeps, or we observe its
+  // mask bit and wake it (a wake racing ahead of the sleep is absorbed by
+  // the kernel's *word != expected re-check).
+  for (int w = 0; w < mask_words_; ++w) {
+    if (parked_[w].load(std::memory_order_seq_cst) != 0) {
+      detail::futex_wake(&epoch_, INT_MAX);
+      return;
+    }
+  }
 }
 
 void ThreadTeam::worker_loop(int tid) {
-  std::uint64_t seen = 0;
+  const int word = (tid - 1) / kMaskBits;
+  const std::uint64_t bit = std::uint64_t(1) << ((tid - 1) % kMaskBits);
+  std::uint32_t seen = 0;
   for (;;) {
-    const std::function<void(int)>* job = nullptr;
-    {
-      std::unique_lock lk(mu_);
-      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
-      if (stop_) return;
-      seen = epoch_;
-      job = job_;
+    std::uint32_t e = epoch_.load(std::memory_order_acquire);
+    if (e == seen) {
+      for (int s = 0; s < kSpinIters && e == seen; ++s) {
+        cpu_relax();
+        e = epoch_.load(std::memory_order_acquire);
+      }
+      if (e == seen) {
+        parked_[word].fetch_or(bit, std::memory_order_seq_cst);
+        e = epoch_.load(std::memory_order_seq_cst);
+        while (e == seen) {
+          detail::futex_wait(&epoch_, seen);
+          e = epoch_.load(std::memory_order_acquire);
+        }
+        parked_[word].fetch_and(~bit, std::memory_order_relaxed);
+      }
     }
-    (*job)(tid);
-    {
-      std::lock_guard lk(mu_);
-      if (++done_count_ == nthreads_ - 1) cv_done_.notify_one();
+    // The leader joins every run before bumping the epoch again, so a
+    // worker can never observe the epoch advance by more than one — each
+    // dispatch is processed exactly once.
+    seen = e;
+    if (stop_.load(std::memory_order_acquire)) return;
+    (*job_)(tid);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_seq_.store(seen, std::memory_order_release);
+      detail::futex_wake(&done_seq_, 1);
     }
   }
 }
@@ -122,16 +188,26 @@ void ThreadTeam::run(const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
-  {
-    std::lock_guard lk(mu_);
-    job_ = &fn;
-    done_count_ = 0;
-    ++epoch_;
-  }
-  cv_start_.notify_all();
+  job_ = &fn;
+  remaining_.store(std::uint32_t(nthreads_ - 1), std::memory_order_relaxed);
+  // The seq_cst bump publishes job_/remaining_ to every worker that
+  // acquire-loads the new epoch; it is also the store half of the Dekker
+  // pair with the workers' parked-mask sets (see wake_workers).
+  const std::uint32_t e = epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  wake_workers();
   fn(0);
-  std::unique_lock lk(mu_);
-  cv_done_.wait(lk, [&] { return done_count_ == nthreads_ - 1; });
+  // Join: the last worker release-stores the run's epoch into done_seq_,
+  // which is itself the futex word — no mask needed here, the predicate
+  // and the sleep word coincide so the kernel re-check closes the race.
+  std::uint32_t d = done_seq_.load(std::memory_order_acquire);
+  for (int s = 0; d != e && s < kSpinIters; ++s) {
+    cpu_relax();
+    d = done_seq_.load(std::memory_order_acquire);
+  }
+  while (d != e) {
+    detail::futex_wait(&done_seq_, d);
+    d = done_seq_.load(std::memory_order_acquire);
+  }
   job_ = nullptr;
 }
 

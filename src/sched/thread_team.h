@@ -1,19 +1,33 @@
 // thread_team.h — persistent pinned thread pool.
 //
-// One team is created per factorization call (or reused across calls by the
-// benchmarks); workers park on a condition variable between parallel
-// regions.  Threads are pinned to the cpus the process may actually run
-// on (the sched_getaffinity mask), walked in topology pin order
-// (physical cores first, then SMT siblings — see Topology::pin_order),
-// matching the paper's fixed-thread-count experiments on the
-// Xeon/Opteron machines while staying correct under cpusets/containers.
+// One team is created per factorization call (or reused across calls by
+// sessions, benchmarks, and the async Service); workers park between
+// parallel regions.  Threads are pinned to the cpus the process may
+// actually run on (the sched_getaffinity mask), walked in topology pin
+// order (physical cores first, then SMT siblings — see
+// Topology::pin_order), matching the paper's fixed-thread-count
+// experiments on the Xeon/Opteron machines while staying correct under
+// cpusets/containers.
+//
+// Dispatch path (the rapid-start discipline, after the mask-based team
+// wakeup of the composable-parallel-scheduler microbench's
+// rapid_start.h): run() publishes the job with one atomic epoch bump and
+// never takes a lock — there is no fork barrier.  Workers spin briefly
+// on the epoch word when a region just ended (back-to-back runs dispatch
+// in sub-microsecond time), then advertise themselves in a parked-worker
+// bitmask and futex-sleep on the epoch word.  The waker reads the mask
+// and issues the futex wake only when somebody is actually parked, so
+// the steady-state dispatch is one atomic increment + one mask load.  An
+// idle team burns no CPU (all workers futex-parked), yet a cold
+// first-task dispatch costs only the futex wake — low single-digit
+// microseconds, which is what lets the request-serving Service keep its
+// latency floor without a spin-waiting worker pool.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -45,6 +59,13 @@ class ThreadTeam {
   /// How many of the team's threads have verified pinning.
   int pinned_count() const;
 
+  /// Hardware parallelism actually available to this process: the size
+  /// of the sched_getaffinity cpu mask when the kernel reports one
+  /// (cpusets/containers restrict it below the machine's core count),
+  /// falling back to std::thread::hardware_concurrency() where
+  /// unrestricted or unsupported.  Default-sized teams and sessions use
+  /// this, so a container limited to 4 cpus gets a 4-thread team instead
+  /// of oversubscribing all of the host's cores onto them.
   static int hardware_threads();
 
   /// Process-wide count of ThreadTeam constructions.  Lets the session /
@@ -58,17 +79,36 @@ class ThreadTeam {
 
  private:
   void worker_loop(int tid);
+  void wake_workers();
+
+  /// One futex-mask word covers 64 workers; teams wider than that get
+  /// additional words.  Workers flip only their own bit; the waker only
+  /// reads, so the mask stays contention-free on the dispatch fast path.
+  static constexpr int kMaskBits = 64;
 
   int nthreads_;
   std::vector<int> pinned_cpus_;  // per tid; -1 = not pinned
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
+
+  // Dispatch state.  `epoch_` is the futex word workers sleep on: bumped
+  // once per run() (and once at shutdown).  The job pointer is published
+  // before the bump and read after an acquire load of it, which carries
+  // the happens-before edge; `stop_` rides the same protocol.
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<bool> stop_{false};
   const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  int done_count_ = 0;
-  bool stop_ = false;
+
+  // Parked-worker bitmask (worker tid t owns bit (t-1) of word (t-1)/64):
+  // set before futex-sleeping on epoch_, cleared on wake.  run() skips
+  // the futex syscall entirely while every worker is still spinning.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> parked_;
+  int mask_words_ = 0;
+
+  // Join state: workers decrement remaining_; the last one bumps
+  // done_seq_ to the run's epoch and wakes the (possibly futex-parked)
+  // leader.
+  std::atomic<std::uint32_t> remaining_{0};
+  std::atomic<std::uint32_t> done_seq_{0};
 };
 
 }  // namespace calu::sched

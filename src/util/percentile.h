@@ -1,0 +1,30 @@
+// percentile.h — nearest-rank percentile over a sorted sample.
+//
+// Shared by the latency-reporting benches (batch_throughput,
+// service_throughput) and unit-tested in tests/service_test.cpp.  The
+// nearest-rank definition is the standard one for latency SLOs: the
+// p-th percentile of N samples is element ceil(p/100 · N) (1-based) of
+// the sorted sample, i.e. the smallest value ≥ p% of the data.  A naive
+// floor(p/100 · N) index is biased one rank high on small samples (p50
+// of N=2 returns the max; p99 of N=100 returns the max instead of the
+// 99th value), which is exactly the bug this replaces.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace calu::util {
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+/// p is in [0, 100]: p=0 returns the minimum, p=100 the maximum.
+inline double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+}  // namespace calu::util

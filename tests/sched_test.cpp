@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -11,6 +12,10 @@
 #include <set>
 #include <string>
 #include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "src/noise/noise.h"
 #include "src/sched/chase_lev_deque.h"
@@ -68,6 +73,33 @@ TEST(ThreadTeam, ParallelForEmptyAndSmall) {
   std::atomic<int> n{0};
   team.parallel_for(2, [&](int) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 2);
+}
+
+TEST(ThreadTeam, HardwareThreadsHonorsAffinityMask) {
+  // Default-sized teams must size themselves from the cpus the process is
+  // actually allowed on, not the machine's core count.
+  const int n = ThreadTeam::hardware_threads();
+  EXPECT_GE(n, 1);
+#ifdef __linux__
+  cpu_set_t set;
+  ASSERT_EQ(sched_getaffinity(0, sizeof(set), &set), 0);
+  EXPECT_EQ(n, CPU_COUNT(&set));
+  // Under a restricted mask (cpusets, containers, taskset) the old
+  // hardware_concurrency() answer would exceed the allowance.
+  EXPECT_LE(n, static_cast<int>(std::thread::hardware_concurrency()));
+#endif
+}
+
+TEST(ThreadTeam, WorkersParkWhenIdleAndWakeOnDispatch) {
+  // Back-to-back regions after an idle gap long enough for every worker
+  // to futex-park: the mask-based wakeup must still dispatch all of them.
+  ThreadTeam team(4, false);
+  for (int round = 0; round < 3; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));  // all park
+    std::atomic<int> mask{0};
+    team.run([&](int tid) { mask.fetch_or(1 << tid); });
+    EXPECT_EQ(mask.load(), 0b1111) << "round " << round;
+  }
 }
 
 // ------------------------------------------------------------ queues ---
@@ -1049,11 +1081,15 @@ TEST(SessionFused, ZeroTaskJobCompletesBeforeTheRun) {
   TaskGraph work = random_dag(50, 0.05, 504, 2);
   std::atomic<int> empty_done{0};
   std::atomic<int> ran{0};
+  const std::thread::id caller = std::this_thread::get_id();
   std::vector<sched::FusedJob> jobs(2);
   jobs[0].graph = &empty;
   jobs[0].exec = [](int, int) { FAIL() << "empty job must not execute"; };
   jobs[0].on_complete = [&](int job) {
     EXPECT_EQ(job, 0);
+    // The documented exception to the worker-thread contract: with no
+    // last task to retire, the callback fires on the run_fused caller.
+    EXPECT_EQ(std::this_thread::get_id(), caller);
     empty_done.fetch_add(1);
   };
   jobs[1].graph = &work;
@@ -1067,6 +1103,11 @@ TEST(SessionFused, ZeroTaskJobCompletesBeforeTheRun) {
   ASSERT_EQ(fr.completion_order.size(), 2u);
   EXPECT_EQ(fr.completion_order[0], 0);  // complete before the run starts
   EXPECT_EQ(fr.completion_order[1], 1);
+  // completed_at is stamped from the same run clock as non-empty jobs: a
+  // real (non-negative, ~0) instant, strictly before the working job's.
+  EXPECT_GE(fr.jobs[0].completed_at, 0.0);
+  EXPECT_GT(fr.jobs[1].completed_at, 0.0);
+  EXPECT_LT(fr.jobs[0].completed_at, fr.jobs[1].completed_at);
 }
 
 TEST(SessionFused, CallerRetireHookChainsBeforeAccounting) {
