@@ -20,8 +20,13 @@ must be non-decreasing — a broken percentile helper (the floor-vs-
 nearest-rank class of bug) or a shuffled emission fails here instead of
 committing a self-contradictory trajectory point.
 
+Ratio fields (any key containing "_vs_", e.g. the tuning section's
+auto_vs_best) must be finite and strictly positive: a zero, negative, or
+NaN ratio means a broken timer or a division by an unmeasured baseline,
+which would poison trajectory comparisons silently.
+
 Exit status: 0 on shape match (extra keys allowed), 1 on missing keys,
-non-monotone percentile triples, or unparseable input.
+non-monotone percentile triples, bad ratio fields, or unparseable input.
 """
 import json
 import re
@@ -65,6 +70,44 @@ def percentile_violations(obj, prefix=""):
     return out
 
 
+def numeric_leaves(obj, prefix=""):
+    """Yields (path, value) for every numeric leaf under obj (obj itself
+    when it is a number); bools are not numbers here."""
+    if isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield prefix, obj
+    elif isinstance(obj, dict):
+        for k, v in obj.items():
+            yield from numeric_leaves(v, f"{prefix}.{k}" if prefix else k)
+    elif isinstance(obj, list):
+        for v in obj:
+            yield from numeric_leaves(v, prefix + "[]")
+
+
+def ratio_violations(obj, prefix=""):
+    """Yields (path, message) for every numeric leaf under a *_vs_* key
+    (a scalar like auto_vs_best, or a per-size table like
+    gemm_speedup_vs_f64) that is not a finite positive number."""
+    out = []
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            path = f"{prefix}.{k}" if prefix else k
+            if "_vs_" in k:
+                leaves = list(numeric_leaves(v, path))
+                if not leaves:
+                    out.append((path, "ratio field has no numeric values"))
+                for leaf_path, val in leaves:
+                    if not (val == val and 0 < val < float("inf")):
+                        out.append((leaf_path,
+                                    f"ratio value {val!r} is not a finite "
+                                    f"positive number"))
+            else:
+                out += ratio_violations(v, path)
+    elif isinstance(obj, list):
+        for v in obj:
+            out += ratio_violations(v, prefix + "[]")
+    return out
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
@@ -93,6 +136,13 @@ def main():
         print(f"shape check FAILED: {fresh_path} has non-monotone "
               f"percentile triples:", file=sys.stderr)
         for path, msg in violations:
+            print(f"  {path}: {msg}", file=sys.stderr)
+        return 1
+    bad_ratios = ratio_violations(fresh)
+    if bad_ratios:
+        print(f"shape check FAILED: {fresh_path} has invalid ratio fields:",
+              file=sys.stderr)
+        for path, msg in bad_ratios:
             print(f"  {path}: {msg}", file=sys.stderr)
         return 1
     for k in sorted(fresh_keys - base_keys):

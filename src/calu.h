@@ -34,3 +34,5 @@
 #include "src/trace/svg.h"
 #include "src/trace/timeline.h"
 #include "src/trace/trace.h"
+#include "src/tune/autotuner.h"
+#include "src/tune/profile.h"

@@ -78,18 +78,36 @@ BatchRunResult run_fused(std::vector<BatchJob>& jobs,
     return res;
   }
 
+  // Tune keys first: each job's Options get their problem-size key
+  // stamped from that job's own matrix, so the engine agreement below
+  // compares tuned resolutions rather than the unkeyed defaults.
+  for (BatchJob& job : jobs) {
+    assert(job.a != nullptr);
+    job.options = with_tune_key(job.options, job.a->rows(), job.a->cols());
+  }
+
   // One engine executes the fused graph: a job set that names two engines
   // has no faithful fused schedule, and silently picking one would betray
   // whichever job asked for the other (the make_engine_or_default "warn
-  // and degrade" move is wrong here).  Reject loudly instead.
+  // and degrade" move is wrong here).  Reject loudly instead.  Tuned
+  // jobs with no explicit ask are the exception: different sizes may
+  // carry different profile engines, and the caller's intent ("whatever
+  // is fastest") is served by adopting the lead job's resolution, not by
+  // a throw the caller cannot predict.
   const std::string engine = jobs[0].options.resolved_engine();
-  for (const BatchJob& job : jobs)
-    if (job.options.resolved_engine() != engine)
+  for (BatchJob& job : jobs) {
+    Options& o = job.options;
+    if (o.tune != TuneMode::Off && o.engine.empty() &&
+        o.schedule != Schedule::WorkStealing && !o.locality_tags) {
+      o.engine = engine;
+    } else if (o.resolved_engine() != engine) {
       throw std::invalid_argument(
           "batched_run(BatchMode::Fused): jobs disagree on the engine (\"" +
-          engine + "\" vs \"" + job.options.resolved_engine() +
+          engine + "\" vs \"" + o.resolved_engine() +
           "\"); align Options::engine/schedule across jobs or use "
           "BatchMode::Sequential");
+    }
+  }
 
   // Prepare: per-job pack + plan with that job's own Options.  Reserve up
   // front — GetrfJob keeps a reference to its PackedMatrix element.
@@ -101,7 +119,6 @@ BatchRunResult run_fused(std::vector<BatchJob>& jobs,
   prepared.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     BatchJob& job = jobs[i];
-    assert(job.a != nullptr);
     layout::Matrix* src = job.a;
     if (job.rhs != nullptr) {
       assert(job.a->rows() == job.a->cols() &&
@@ -109,7 +126,8 @@ BatchRunResult run_fused(std::vector<BatchJob>& jobs,
       lu[i] = *job.a;
       src = &lu[i];
     }
-    const Options& o = job.options;
+    Options& o = job.options;
+    o.b = o.resolved_b();  // the fused path owns the packing, like getrf
     packed.push_back(
         layout::PackedMatrix::pack(*src, o.layout, o.b, o.resolved_grid(),
                                    owner_runner_from(o, session.team())));

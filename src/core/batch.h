@@ -59,6 +59,10 @@ namespace calu::core {
 struct BatchJob {
   layout::Matrix* a = nullptr;
   const layout::Matrix* rhs = nullptr;
+  /// Per-job knobs.  Under TuneMode::Auto/Force the fused path
+  /// materializes the tuned resolution into this field (tune key, tile
+  /// size, and — for jobs with no explicit engine ask — the fused run's
+  /// engine), so on return it records what actually ran.
   Options options;
   std::function<void(int job)> on_complete;
 };

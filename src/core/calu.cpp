@@ -13,6 +13,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 
@@ -22,6 +23,7 @@
 #include "src/core/tslu.h"
 #include "src/model/lu_cost.h"
 #include "src/sched/session.h"
+#include "src/tune/autotuner.h"
 #include "src/util/aligned_buffer.h"
 
 namespace calu::core {
@@ -354,6 +356,15 @@ const char* priority_class_name(PriorityClass c) {
   return "?";
 }
 
+const char* tune_mode_name(TuneMode m) {
+  switch (m) {
+    case TuneMode::Off: return "off";
+    case TuneMode::Auto: return "auto";
+    case TuneMode::Force: return "force";
+  }
+  return "?";
+}
+
 int Options::resolved_threads() const {
   return threads > 0 ? threads : sched::ThreadTeam::hardware_threads();
 }
@@ -367,19 +378,53 @@ double Options::resolved_dratio() const {
   switch (schedule) {
     case Schedule::Static: return 0.0;
     case Schedule::Dynamic: return 1.0;
-    default: return std::clamp(dratio, 0.0, 1.0);
+    default: break;
   }
+  const double d =
+      tune != TuneMode::Off ? tune::decision_for(*this).dratio : dratio;
+  if (d < 0.0 || d > 1.0) {
+    // Out-of-range ratios used to flow into plan construction silently
+    // (dratio = 1.5 built a plan with a negative static prefix).  Clamp,
+    // and say so once — a hot batch loop resolves this per job.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      std::fprintf(stderr,
+                   "calu::core: Options::dratio %g out of [0, 1]; "
+                   "clamping (warned once)\n",
+                   d);
+  }
+  return std::clamp(d, 0.0, 1.0);
+}
+
+int Options::resolved_b() const {
+  if (tune != TuneMode::Off && tune_n > 0)
+    return std::min(tune::decision_for(*this).b, tune_n);
+  return b;
 }
 
 std::string Options::resolved_engine() const {
   if (!engine.empty()) return engine;
   if (schedule == Schedule::WorkStealing) return "work-stealing";
   if (locality_tags) return "locality-tags";
+  if (tune != TuneMode::Off) return tune::decision_for(*this).engine;
   return "hybrid";
+}
+
+int Options::resolved_lookahead() const {
+  if (tune != TuneMode::Off)
+    return tune::decision_for(*this).lookahead_depth;
+  return lookahead_depth;
 }
 
 sched::SessionOptions session_options_from(const Options& opt) {
   return sched::SessionOptions{opt.resolved_threads(), opt.pin_threads};
+}
+
+Options with_tune_key(const Options& opt, int m, int n) {
+  if (opt.tune == TuneMode::Off || opt.tune_n != 0) return opt;
+  Options o = opt;
+  o.tune_n = std::min(m, n);
+  return o;
 }
 
 layout::OwnerRunner owner_runner_from(const Options& opt,
@@ -401,7 +446,7 @@ sched::RunHooks run_hooks_from(const Options& opt, int team_size,
   hooks.recorder = opt.recorder;
   hooks.locality_tags = opt.locality_tags;
   hooks.ws_seed = opt.ws_seed;
-  hooks.lookahead_depth = opt.lookahead_depth;
+  hooks.lookahead_depth = opt.resolved_lookahead();
   if (opt.noise.enabled()) {
     injector = std::make_unique<noise::Injector>(opt.noise, team_size);
     hooks.injector = injector.get();
@@ -437,8 +482,13 @@ struct GetrfJob::Impl {
   }
 };
 
-GetrfJob::GetrfJob(layout::PackedMatrix& a, const Options& opt) {
-  assert(a.tiling().b == opt.b);
+GetrfJob::GetrfJob(layout::PackedMatrix& a, const Options& opt_in) {
+  assert(a.tiling().b == opt_in.b);
+  // Tune key from the packed shape, so a job constructed directly (the
+  // batch layer, the service) resolves the same profile entry as the
+  // Matrix-level drivers.  The tile size is already fixed by the
+  // caller's packing; only dratio/engine/lookahead can still be tuned.
+  const Options opt = with_tune_key(opt_in, a.tiling().m, a.tiling().n);
   const auto t0 = std::chrono::steady_clock::now();
   impl_ = std::make_unique<Impl>(a, opt);
   if (opt.priority_class == PriorityClass::Batch) {
@@ -495,8 +545,9 @@ Factorization GetrfJob::finish(sched::ThreadTeam& team) {
   return f;
 }
 
-Factorization getrf(layout::PackedMatrix& a, const Options& opt,
+Factorization getrf(layout::PackedMatrix& a, const Options& opt_in,
                     sched::Session& session) {
+  const Options opt = with_tune_key(opt_in, a.tiling().m, a.tiling().n);
   GetrfJob job(a, opt);
   std::unique_ptr<noise::Injector> injector;
   sched::RunHooks hooks = run_hooks_from(opt, session.threads(), injector);
@@ -526,8 +577,13 @@ Factorization getrf(layout::PackedMatrix& a, const Options& opt,
   return getrf(a, opt, ephemeral);
 }
 
-Factorization getrf(layout::Matrix& a, const Options& opt,
+Factorization getrf(layout::Matrix& a, const Options& opt_in,
                     sched::Session& session) {
+  // The Matrix-level driver owns the packing, so it is the one place the
+  // tuned tile size can be applied: materialize it into `b` before the
+  // pack (GetrfJob's b-match contract then holds by construction).
+  Options opt = with_tune_key(opt_in, a.rows(), a.cols());
+  opt.b = opt.resolved_b();
   layout::PackedMatrix p =
       layout::PackedMatrix::pack(a, opt.layout, opt.b, opt.resolved_grid(),
                                  owner_runner_from(opt, session.team()));

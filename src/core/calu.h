@@ -56,6 +56,18 @@ enum class PriorityClass : std::uint8_t { Interactive, Batch };
 
 const char* priority_class_name(PriorityClass c);
 
+/// Autotuning policy for the {dratio, b, engine, lookahead_depth} knobs
+/// (ROADMAP item 5; src/tune/autotuner.h).  Off uses the fields as set.
+/// Auto consults the per-host tuning profile through the resolved_*()
+/// accessors — a profile miss triggers a one-time model-seeded
+/// calibration for the (n, threads, kernel, topology) key, persisted
+/// thereafter.  Force recalibrates the key (once per process) even when
+/// a profile entry exists, e.g. after a hardware or load-environment
+/// change the key cannot see.
+enum class TuneMode : std::uint8_t { Off, Auto, Force };
+
+const char* tune_mode_name(TuneMode m);
+
 struct Options {
   int b = 100;                // tile size (the paper uses b = 100)
   double dratio = 0.10;       // fraction of panels scheduled dynamically
@@ -103,14 +115,34 @@ struct Options {
   /// Urgent-queue eligibility under the priority-lookahead engine; the
   /// async sched::Service maps its two request classes onto this.
   PriorityClass priority_class = PriorityClass::Interactive;
+  /// Autotuning of {dratio, b, engine, lookahead_depth}: Off uses the
+  /// fields above verbatim; Auto/Force resolve them from the per-host
+  /// tuning profile (explicitly-set `engine` and Static/Dynamic
+  /// `schedule` still win — tuning never overrides an explicit ask).
+  TuneMode tune = TuneMode::Off;
+  /// Problem-size key for the tuner (min(m, n)).  The factorization
+  /// drivers stamp it from the matrix when left 0, so callers never set
+  /// it; pre-setting is only useful to warm a profile entry up front.
+  int tune_n = 0;
 
   int resolved_threads() const;
   layout::Grid resolved_grid() const;
+  /// `dratio` clamped to [0, 1] (out-of-range values warn once per
+  /// process), with Schedule::Static/Dynamic pinning 0/1 and
+  /// TuneMode::Auto/Force substituting the tuned fraction.
   double resolved_dratio() const;
+  /// Tile size actually used by the Matrix-level drivers: `b`, or the
+  /// tuned tile size under Auto/Force once tune_n is known.  The
+  /// PackedMatrix-level entry points keep the caller's packing (a packed
+  /// matrix's b cannot be re-chosen after the fact).
+  int resolved_b() const;
   /// The registry key actually used: `engine` when set, else
   /// "work-stealing" for Schedule::WorkStealing, "locality-tags" when
-  /// locality_tags is on, "hybrid" otherwise.
+  /// locality_tags is on, the tuned engine under Auto/Force, "hybrid"
+  /// otherwise.
   std::string resolved_engine() const;
+  /// `lookahead_depth`, or the tuned window under Auto/Force.
+  int resolved_lookahead() const;
 };
 
 struct Stats {
@@ -206,6 +238,14 @@ Factorization getrf(layout::Matrix& a, const Options& opt);
 /// Session variant of the column-major convenience driver.
 Factorization getrf(layout::Matrix& a, const Options& opt,
                     sched::Session& session);
+
+/// `opt` with the tuner's problem-size key stamped from the matrix shape
+/// (min(m, n)) when tuning is on and the caller left tune_n at 0 — the
+/// single helper every driver (CALU, Cholesky, the batch layer) runs its
+/// Options through before consulting the resolved_*() accessors, so one
+/// factorization's dratio, b, engine, and lookahead all come from the
+/// same profile entry.
+Options with_tune_key(const Options& opt, int m, int n);
 
 /// Engine RunHooks from Options — the single source for the Options →
 /// hooks wiring every factorization driver (CALU, Cholesky, incpiv)

@@ -17,7 +17,13 @@ double ideal_time(const ModelParams& m) {
 }
 
 double static_time(const ModelParams& m, double fs) {
-  return fs * parallel_time(m) + m.delta_max;
+  // The proof's tactual: the core hit with δmax finishes its static share
+  // at fs·Tp + δmax while the others drain the (1−fs) dynamic remainder,
+  // which cannot complete before the perfectly-rebalanced floor — so the
+  // schedule's completion time is the max of the two.  (Without the
+  // floor, fs → 0 would report a schedule faster than ideal, and a tuner
+  // ranking candidates by this function would chase that mirage.)
+  return std::max(fs * parallel_time(m) + m.delta_max, ideal_time(m));
 }
 
 double max_static_fraction(const ModelParams& m) {

@@ -35,8 +35,12 @@ double parallel_time(const ModelParams& m);
 /// (T1 + Σδi) / p, using Σδi = p * δavg.
 double ideal_time(const ModelParams& m);
 
-/// Worst-case completion time of a fraction-fs-static schedule that cannot
-/// rebalance: fs*T1/p + δmax (the tactual of the proof).
+/// Worst-case completion time of a fraction-fs-static schedule:
+/// max(fs*Tp + δmax, ideal_time) — the tactual of the proof, floored by
+/// the perfectly-rebalanced time the dynamic remainder cannot beat.
+/// Consequently static_time(m, fs) >= ideal_time(m) for every fs in
+/// [0, 1], with equality exactly on fs <= max_static_fraction(m) — the
+/// invariant the autotuner's candidate ranking relies on.
 double static_time(const ModelParams& m, double fs);
 
 /// Theorem 1 (with extensions): the largest static fraction attaining

@@ -1,0 +1,331 @@
+#include "src/tune/autotuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "src/blas/microkernel.h"
+#include "src/core/calu.h"
+#include "src/layout/matrix.h"
+#include "src/model/lu_cost.h"
+#include "src/model/theorem1.h"
+#include "src/sched/topology.h"
+
+namespace calu::tune {
+namespace {
+
+/// Parses the leading "<N>pkg/<M>l3" counts out of a topology summary
+/// string; {1, 1} when the shape is unrecognized (flat machine).
+struct TopoShape {
+  int packages = 1;
+  int l3_groups = 1;
+};
+
+TopoShape parse_topology(const std::string& summary) {
+  TopoShape s;
+  int pkg = 0, l3 = 0;
+  if (std::sscanf(summary.c_str(), "%dpkg/%dl3", &pkg, &l3) == 2) {
+    s.packages = std::max(1, pkg);
+    s.l3_groups = std::max(1, l3);
+  }
+  return s;
+}
+
+/// The nominal size used when a key carries no problem size (n = 0):
+/// resolutions still need a model instance, and a mid-range dense shape
+/// keeps the seeded dratio in the paper's regime.
+constexpr int kNominalN = 1024;
+
+int key_n(const Key& key) { return key.n > 0 ? key.n : kNominalN; }
+
+/// Theorem-1 ModelParams for one (key, b) pair, flop units.
+model::ModelParams model_for(const Key& key, int b, const SeedParams& sp) {
+  const int n = key_n(key);
+  const int p = std::max(1, key.threads);
+  const int nb = (n + b - 1) / b;
+  model::ModelParams m;
+  m.t1 = model::lu_flops(n, n);
+  m.p = p;
+  m.delta_max = sp.spread_frac * (m.t1 / p);
+  m.delta_avg = 0.0;  // spread_frac is already the max − avg gap
+  m.t_critical =
+      sp.critical_path_frac * model::calu_critical_path_flops(nb, nb, b);
+  // S tasks dominate the count: ~nb^3/3 of them, plus the nb^2 panel/U
+  // column tasks.  Each costs a dequeue + dependency decrement.
+  const double ntasks =
+      static_cast<double>(nb) * nb * nb / 3.0 + static_cast<double>(nb) * nb;
+  m.t_overhead = sp.task_overhead_flops * ntasks / p;
+  return m;
+}
+
+std::vector<double> dratio_candidates(double d_model) {
+  std::vector<double> ds{d_model, 0.5 * d_model, d_model + 0.10, 0.10};
+  for (double& d : ds) d = std::clamp(d, 0.0, 1.0);
+  std::sort(ds.begin(), ds.end());
+  ds.erase(std::unique(ds.begin(), ds.end(),
+                       [](double a, double b) { return std::abs(a - b) < 1e-3; }),
+           ds.end());
+  return ds;
+}
+
+std::vector<int> b_candidates(int n) {
+  std::vector<int> bs;
+  for (int b : {64, 96, 128, 192})
+    if (2 * b <= n) bs.push_back(b);
+  // The bench default (paper's b = 100 regime, power-of-two friendly).
+  const int def = std::min(128, std::max(32, n / 16));
+  if (std::find(bs.begin(), bs.end(), def) == bs.end() && 2 * def <= n)
+    bs.push_back(def);
+  if (bs.empty()) bs.push_back(std::max(8, n / 2));  // tiny problems
+  std::sort(bs.begin(), bs.end());
+  return bs;
+}
+
+std::vector<std::string> engine_candidates(const Key& key) {
+  if (key.threads <= 1) return {"hybrid"};  // engines coincide at p = 1
+  std::vector<std::string> es{"hybrid", "priority-lookahead"};
+  const TopoShape topo = parse_topology(key.topology);
+  // Distance-aware stealing only has distances to exploit when the
+  // machine has more than one last-level-cache group.
+  if (topo.packages > 1 || topo.l3_groups > 1)
+    es.push_back("numa-hierarchical");
+  return es;
+}
+
+}  // namespace
+
+std::string Key::str() const {
+  return "n=" + std::to_string(n) + ";t=" + std::to_string(threads) +
+         ";k=" + kernel + ";topo=" + topology;
+}
+
+double predicted_cost(const Key& key, const Decision& d,
+                      const SeedParams& sp) {
+  const model::ModelParams m = model_for(key, d.b, sp);
+  const double fs = 1.0 - d.dratio;
+  // static_time already includes the Theorem-1 worst case vs the ideal
+  // floor; dynamic tasks additionally pay the Section-6 migration cost
+  // proportional to the work they move between caches.
+  const double migration =
+      sp.migration_frac * d.dratio * (m.t1 / std::max(1, m.p));
+  return model::static_time(m, fs) + migration;
+}
+
+std::vector<Decision> seed_candidates(const Key& key, const SeedParams& sp) {
+  std::vector<Decision> out;
+  for (const std::string& engine : engine_candidates(key)) {
+    const std::vector<int> lookaheads =
+        engine == "priority-lookahead" ? std::vector<int>{2, 4}
+                                       : std::vector<int>{4};
+    for (int b : b_candidates(key_n(key))) {
+      const model::ModelParams m = model_for(key, b, sp);
+      for (double dr : dratio_candidates(model::min_dynamic_fraction(m))) {
+        for (int look : lookaheads) {
+          Decision d;
+          d.dratio = dr;
+          d.b = b;
+          d.engine = engine;
+          d.lookahead_depth = look;
+          d.predicted = predicted_cost(key, d, sp);
+          out.push_back(std::move(d));
+        }
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Decision& a, const Decision& b) {
+                     if (a.predicted != b.predicted)
+                       return a.predicted < b.predicted;
+                     if (a.engine != b.engine) return a.engine < b.engine;
+                     if (a.b != b.b) return a.b < b.b;
+                     if (a.dratio != b.dratio) return a.dratio < b.dratio;
+                     return a.lookahead_depth < b.lookahead_depth;
+                   });
+  return out;
+}
+
+Autotuner::Autotuner(std::shared_ptr<ProfileStore> store, MeasureFn measure,
+                     TunerConfig cfg)
+    : store_(std::move(store)), measure_(std::move(measure)),
+      cfg_(std::move(cfg)), last_seed_(cfg_.seed) {}
+
+void Autotuner::ensure_loaded_locked() {
+  if (load_attempted_) return;
+  load_attempted_ = true;
+  std::string text;
+  if (store_ == nullptr || !store_->load(text)) return;  // nothing stored
+  Profile loaded;
+  switch (parse_profile(text, loaded)) {
+    case LoadStatus::Ok:
+      profile_ = std::move(loaded);
+      return;
+    case LoadStatus::Missing:
+      return;
+    case LoadStatus::Corrupt:
+      recovered_corrupt_ = true;
+      if (!warned_corrupt_) {
+        warned_corrupt_ = true;
+        std::fprintf(stderr,
+                     "calu::tune: profile at %s is corrupt or from an "
+                     "unknown schema version; regenerating\n",
+                     store_->describe().c_str());
+      }
+      return;  // profile_ stays empty; next save overwrites the wreck
+  }
+}
+
+Decision Autotuner::calibrate_locked(const Key& key) {
+  SeedParams sp = cfg_.seed;
+  std::vector<Decision> cands = seed_candidates(key, sp);
+  if (measure_ && cfg_.spread_probe_reps > 1 && !cands.empty()) {
+    // Live noise probe: repeated runs of the model's first pick; the
+    // relative spread of their costs is the (δmax − δavg)/Tp input the
+    // Theorem-1 bound wants, replacing the configured guess.
+    double sum = 0.0, mx = 0.0;
+    for (int r = 0; r < cfg_.spread_probe_reps; ++r) {
+      const double c = measure_(key, cands.front());
+      sum += c;
+      mx = std::max(mx, c);
+    }
+    const double avg = sum / cfg_.spread_probe_reps;
+    if (avg > 0.0) {
+      sp.spread_frac = std::clamp((mx - avg) / avg, 0.0, 1.0);
+      cands = seed_candidates(key, sp);
+    }
+  }
+  last_seed_ = sp;
+
+  Decision best = cands.front();  // grids are never empty by construction
+  if (measure_) {
+    const int k =
+        std::min<int>(std::max(1, cfg_.top_k), static_cast<int>(cands.size()));
+    double best_cost = 0.0;
+    for (int i = 0; i < k; ++i) {
+      const double cost = measure_(key, cands[i]);
+      if (i == 0 || cost < best_cost) {
+        best_cost = cost;
+        best = cands[i];
+        best.measured = cost;
+      }
+    }
+    ++calibrations_;
+  }
+  return best;
+}
+
+Decision Autotuner::resolve(const Key& key, bool force) {
+  std::lock_guard lk(mu_);
+  ensure_loaded_locked();
+  const std::string k = key.str();
+  const bool force_now = force && forced_done_.insert(k).second;
+  if (!force_now) {
+    auto it = profile_.entries.find(k);
+    if (it != profile_.entries.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+
+  Decision best = calibrate_locked(key);
+  if (profile_.host.empty()) profile_.host = key.topology;
+  profile_.entries[k] = best;
+  if (store_ != nullptr && !store_->save(serialize_profile(profile_))) {
+    persist_failed_ = true;
+    if (!warned_unwritable_) {
+      warned_unwritable_ = true;
+      std::fprintf(stderr,
+                   "calu::tune: profile at %s is unwritable; tuning "
+                   "decisions are cached in memory for this process only\n",
+                   store_->describe().c_str());
+    }
+  }
+  return best;
+}
+
+std::vector<Decision> Autotuner::candidates(const Key& key) const {
+  std::lock_guard lk(mu_);
+  return seed_candidates(key, cfg_.seed);
+}
+
+void Autotuner::set_measure(MeasureFn measure) {
+  std::lock_guard lk(mu_);
+  measure_ = std::move(measure);
+}
+
+int Autotuner::calibrations() const {
+  std::lock_guard lk(mu_);
+  return calibrations_;
+}
+
+int Autotuner::profile_hits() const {
+  std::lock_guard lk(mu_);
+  return hits_;
+}
+
+bool Autotuner::recovered_corrupt() const {
+  std::lock_guard lk(mu_);
+  return recovered_corrupt_;
+}
+
+bool Autotuner::persist_failed() const {
+  std::lock_guard lk(mu_);
+  return persist_failed_;
+}
+
+SeedParams Autotuner::last_seed() const {
+  std::lock_guard lk(mu_);
+  return last_seed_;
+}
+
+Profile Autotuner::snapshot() const {
+  std::lock_guard lk(mu_);
+  return profile_;
+}
+
+MeasureFn real_measure(int reps) {
+  return [reps](const Key& key, const Decision& d) -> double {
+    // Calibration cost is bounded: one (or `reps`) real factorization(s)
+    // of the keyed size, capped so a huge production shape doesn't turn
+    // first-touch tuning into a minutes-long stall — the knobs of a
+    // 2048-class run transfer to larger n far better than guesses do.
+    const int n = std::min(key.n > 0 ? key.n : 512, 2048);
+    core::Options o;
+    o.tune = core::TuneMode::Off;  // no re-entry into the tuner
+    o.b = std::min(d.b, std::max(1, n));
+    o.dratio = d.dratio;
+    o.engine = d.engine;
+    o.lookahead_depth = d.lookahead_depth;
+    o.threads = key.threads;
+    o.pin_threads = false;  // calibration must not fight the host mask
+    double best = 0.0;
+    for (int r = 0; r < std::max(1, reps); ++r) {
+      layout::Matrix a = layout::Matrix::random(n, n, 0x7a7e5eedULL + r);
+      const core::Factorization f = core::getrf(a, o);
+      if (r == 0 || f.stats.factor_seconds < best)
+        best = f.stats.factor_seconds;
+    }
+    return best;
+  };
+}
+
+Autotuner& global_autotuner() {
+  // Leaked on purpose: Options::resolved_*() may run during static
+  // teardown of user code, and a destructed tuner there is a crash for
+  // zero benefit (the profile is saved after every calibration).
+  static Autotuner* tuner = new Autotuner(
+      std::make_shared<FileProfileStore>(default_profile_path()),
+      real_measure(), TunerConfig{});
+  return *tuner;
+}
+
+Decision decision_for(const core::Options& opt) {
+  Key key;
+  key.n = opt.tune_n;
+  key.threads = opt.resolved_threads();
+  key.kernel = blas::active_kernel().name;
+  key.topology = sched::system_topology().summary();
+  return global_autotuner().resolve(key, opt.tune == core::TuneMode::Force);
+}
+
+}  // namespace calu::tune

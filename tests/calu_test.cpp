@@ -306,6 +306,41 @@ TEST(CaluPlan, StaticDynamicSplitFollowsDratio) {
   EXPECT_EQ(plan1.nstatic, 0);
 }
 
+TEST(CaluPlan, ResolvedDratioClampsBothEdges) {
+  // Regression: out-of-range ratios used to flow into build_plan
+  // unclamped (dratio = 1.5 produced a negative static prefix).  The
+  // resolver now clamps to [0, 1] and says so once per process.
+  Options high;
+  high.dratio = 1.5;
+  Options low;
+  low.dratio = -0.1;
+  ::testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(high.resolved_dratio(), 1.0);
+  EXPECT_DOUBLE_EQ(low.resolved_dratio(), 0.0);
+  const std::string warn = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warn.find("out of [0, 1]"), std::string::npos);
+  // Warn-once: the second out-of-range resolution above (and any later
+  // one) must not have printed again.
+  EXPECT_EQ(warn.find("out of [0, 1]"),
+            warn.rfind("out of [0, 1]"));
+  ::testing::internal::CaptureStderr();
+  EXPECT_DOUBLE_EQ(high.resolved_dratio(), 1.0);
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+  // In-range values pass through untouched, including the exact edges.
+  Options edge;
+  edge.dratio = 1.0;
+  EXPECT_DOUBLE_EQ(edge.resolved_dratio(), 1.0);
+  edge.dratio = 0.0;
+  EXPECT_DOUBLE_EQ(edge.resolved_dratio(), 0.0);
+  // Schedule overrides still win over any stored ratio.
+  Options forced;
+  forced.dratio = 1.5;
+  forced.schedule = Schedule::Static;
+  EXPECT_DOUBLE_EQ(forced.resolved_dratio(), 0.0);
+  forced.schedule = Schedule::Dynamic;
+  EXPECT_DOUBLE_EQ(forced.resolved_dratio(), 1.0);
+}
+
 TEST(CaluPlan, OwnersMatchSplit) {
   layout::Tiling t{200, 200, 20};  // 10 panels
   layout::Grid g{2, 2};
